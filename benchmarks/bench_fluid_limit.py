@@ -1,0 +1,71 @@
+"""E9 -- Validity of the fluid limit: finite agents vs the ODE trajectory.
+
+The paper's analysis is carried out in the fluid limit of infinitely many
+infinitesimal agents.  This benchmark runs the finite-population
+discrete-event simulator (Poisson activation clocks, the same two-step
+policy, the same bulletin board) for growing population sizes and reports the
+deviation of the final flow shares from the fluid-limit trajectory: the
+deviation should shrink roughly like 1/sqrt(n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import print_table
+from repro.core import replicator_policy, simulate, simulate_agents
+from repro.instances import lopsided_flow, pigou_network, two_link_network
+
+POPULATIONS = [100, 1000, 10000]
+HORIZON = 15.0
+
+INSTANCES = {
+    "two-links(beta=4)": lambda: two_link_network(beta=4.0),
+    "pigou-linear": lambda: pigou_network(degree=1),
+}
+
+
+def deviation_for(network, num_agents, seed=0):
+    policy = replicator_policy(network, exploration=1e-3)
+    period = policy.safe_update_period(network)
+    start = lopsided_flow(network, 0.9) if network.num_paths == 2 else None
+    fluid = simulate(
+        network, policy, update_period=period, horizon=HORIZON, initial_flow=start
+    )
+    finite = simulate_agents(
+        network, policy, num_agents=num_agents, update_period=period,
+        horizon=HORIZON, initial_flow=start, seed=seed,
+    )
+    return float(np.abs(finite.final_flow.values() - fluid.final_flow.values()).sum())
+
+
+@pytest.mark.experiment("E9")
+def test_finite_agents_approach_fluid_limit(report_header):
+    rows = []
+    for name, make_instance in INSTANCES.items():
+        network = make_instance()
+        for population in POPULATIONS:
+            deviations = [deviation_for(network, population, seed=s) for s in range(3)]
+            rows.append(
+                {
+                    "instance": name,
+                    "n_agents": population,
+                    "mean_L1_deviation": float(np.mean(deviations)),
+                    "expected_scale(1/sqrt(n))": 1.0 / np.sqrt(population),
+                }
+            )
+    print_table(rows, title="E9: finite-agent simulation vs fluid limit")
+    for name in INSTANCES:
+        per_instance = [row for row in rows if row["instance"] == name]
+        smallest = per_instance[0]["mean_L1_deviation"]
+        largest = per_instance[-1]["mean_L1_deviation"]
+        # Two orders of magnitude more agents must shrink the deviation.
+        assert largest < smallest
+
+
+@pytest.mark.experiment("E9")
+def test_benchmark_agent_simulation(benchmark, report_header):
+    network = two_link_network(beta=4.0)
+    deviation = benchmark(deviation_for, network, 1000)
+    assert deviation < 0.5

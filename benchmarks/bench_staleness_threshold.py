@@ -1,0 +1,104 @@
+"""E3 -- Lemma 4 / Corollary 5: the safe update period T* = 1/(4 D alpha beta).
+
+Sweeps the ratio ``T / T*`` for a fixed migration rule.  At or below the safe
+period the paper guarantees per-phase potential decrease (``Delta Phi <=
+V/2 <= 0``) and convergence; far above it the guarantee is void and an
+aggressive rule on a steep instance visibly fails to settle.  The harness
+prints, per ratio, the Lemma 4 violation count, the final potential gap and
+the tail oscillation amplitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyse_oscillation, phase_potential_stats, print_table
+from repro.core import scaled_policy, simulate
+from repro.core.smoothness import safe_update_period
+from repro.instances import braess_network, lopsided_flow, two_link_network
+from repro.solvers import optimal_potential
+from repro.wardrop import FlowVector, potential
+
+RATIOS = [0.25, 0.5, 1.0, 2.0, 8.0, 32.0]
+
+
+def run_with_ratio(network, alpha, ratio, start, horizon_phases=120, min_horizon=15.0):
+    policy = scaled_policy(alpha)
+    safe = safe_update_period(network, alpha)
+    period = ratio * safe
+    # Give every ratio enough *simulated time* to settle: small ratios mean a
+    # tiny update period, so a fixed phase count alone would end far too early.
+    horizon = max(horizon_phases * period, min_horizon)
+    steps_per_phase = 30 if horizon_phases * period >= min_horizon else 10
+    return simulate(
+        network, policy, update_period=period, horizon=horizon,
+        initial_flow=start, steps_per_phase=steps_per_phase,
+    ), period
+
+
+@pytest.mark.experiment("E3")
+def test_staleness_threshold_two_links(report_header):
+    network = two_link_network(beta=8.0)
+    alpha = 4.0  # aggressive: safe period is 1/(4*1*4*8) ~ 0.0078
+    optimum = optimal_potential(network)
+    rows = []
+    for ratio in RATIOS:
+        trajectory, period = run_with_ratio(network, alpha, ratio, lopsided_flow(network, 0.9))
+        stats = phase_potential_stats(trajectory)
+        oscillation = analyse_oscillation(trajectory)
+        rows.append(
+            {
+                "T/T*": ratio,
+                "T": period,
+                "lemma4_violations": stats.lemma4_violations,
+                "max_phi_increase": stats.max_potential_increase,
+                "final_gap": potential(trajectory.final_flow) - optimum,
+                "tail_amplitude": oscillation.amplitude,
+            }
+        )
+    print_table(rows, title="E3: staleness threshold sweep, two links (beta=8, alpha=4)")
+    safe_rows = [row for row in rows if row["T/T*"] <= 1.0]
+    unsafe_rows = [row for row in rows if row["T/T*"] >= 8.0]
+    for row in safe_rows:
+        assert row["lemma4_violations"] == 0
+        assert row["final_gap"] < 1e-2
+    # Far beyond the threshold the dynamics is visibly worse (larger residual
+    # oscillation / potential gap) than in the safe regime.
+    worst_safe = max(row["tail_amplitude"] for row in safe_rows)
+    worst_unsafe = max(row["tail_amplitude"] for row in unsafe_rows)
+    assert worst_unsafe > worst_safe
+
+
+@pytest.mark.experiment("E3")
+def test_staleness_threshold_braess(report_header):
+    network = braess_network()
+    alpha = 2.0
+    optimum = optimal_potential(network)
+    start = FlowVector.single_path(network, {0: 0})
+    rows = []
+    for ratio in [0.5, 1.0, 4.0]:
+        trajectory, period = run_with_ratio(network, alpha, ratio, start, horizon_phases=200)
+        stats = phase_potential_stats(trajectory)
+        rows.append(
+            {
+                "T/T*": ratio,
+                "T": period,
+                "lemma4_violations": stats.lemma4_violations,
+                "final_gap": potential(trajectory.final_flow) - optimum,
+            }
+        )
+    print_table(rows, title="E3: staleness threshold sweep, Braess network (alpha=2)")
+    for row in rows:
+        if row["T/T*"] <= 1.0:
+            assert row["lemma4_violations"] == 0
+
+
+@pytest.mark.experiment("E3")
+def test_benchmark_safe_period_run(benchmark, report_header):
+    network = two_link_network(beta=8.0)
+
+    def run():
+        return run_with_ratio(network, 4.0, 1.0, lopsided_flow(network, 0.9), horizon_phases=40)[0]
+
+    trajectory = benchmark(run)
+    assert phase_potential_stats(trajectory).lemma4_violations == 0

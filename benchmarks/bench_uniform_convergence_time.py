@@ -1,0 +1,70 @@
+"""E4 -- Theorem 6: convergence time of uniform sampling + linear migration.
+
+Measures, on parallel-link families of growing size, the number of update
+periods that do *not* start at a (delta, eps)-equilibrium and compares it
+with the Theorem 6 bound ``O(|P| / (eps T) * (l_max/delta)^2)``.  The measured
+count must stay below the bound, and its growth with ``|P|`` and ``1/delta^2``
+should be visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import count_bad_phases, print_table
+from repro.core import simulate, uniform_policy
+from repro.core.bounds import uniform_convergence_bound
+from repro.instances import heterogeneous_affine_links
+from repro.wardrop import FlowVector
+
+LINK_COUNTS = [2, 4, 8, 16]
+DELTAS = [0.4, 0.2, 0.1]
+EPSILON = 0.1
+
+
+def run_uniform(network, horizon=120.0):
+    policy = uniform_policy(network)
+    period = min(policy.safe_update_period(network), 1.0)
+    start = FlowVector.single_path(network, {0: 0})
+    trajectory = simulate(
+        network, policy, update_period=period, horizon=horizon,
+        initial_flow=start, steps_per_phase=20,
+    )
+    return trajectory, period
+
+
+@pytest.mark.experiment("E4")
+def test_uniform_sampling_bad_phase_counts(report_header):
+    rows = []
+    for num_links in LINK_COUNTS:
+        network = heterogeneous_affine_links(num_links, seed=7)
+        trajectory, period = run_uniform(network)
+        for delta in DELTAS:
+            summary = count_bad_phases(trajectory, delta, EPSILON)
+            bound = uniform_convergence_bound(network, period, delta, EPSILON)
+            rows.append(
+                {
+                    "links(|P|)": num_links,
+                    "delta": delta,
+                    "T": period,
+                    "bad_phases": summary.bad_phases,
+                    "thm6_bound": bound,
+                    "within_bound": summary.bad_phases <= bound,
+                    "total_phases": summary.total_phases,
+                }
+            )
+    print_table(rows, title="E4: Theorem 6 -- uniform sampling convergence time")
+    for row in rows:
+        assert row["within_bound"]
+    # Tightening delta by 2x must not shrink the bad-phase count: the
+    # (delta, eps) requirement is strictly harder to satisfy.
+    for num_links in LINK_COUNTS:
+        counts = [row["bad_phases"] for row in rows if row["links(|P|)"] == num_links]
+        assert counts == sorted(counts)
+
+
+@pytest.mark.experiment("E4")
+def test_benchmark_uniform_policy_run(benchmark, report_header):
+    network = heterogeneous_affine_links(8, seed=7)
+    trajectory, _ = benchmark(run_uniform, network, 30.0)
+    assert len(trajectory.phases) > 0

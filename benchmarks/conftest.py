@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from EXPERIMENTS.md: it runs the
+relevant sweep, prints a table with the paper-predicted quantity next to the
+measured one (captured in ``bench_output.txt``) and uses pytest-benchmark to
+time the core simulation call so that performance regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): mark a benchmark with its EXPERIMENTS.md id"
+    )
+
+
+@pytest.fixture(scope="session")
+def report_header():
+    """Print a one-time header so the captured bench output is self-describing."""
+    print()
+    print("=" * 78)
+    print("Benchmark harness: 'Adaptive routing with stale information' reproduction")
+    print("Each section prints paper-predicted vs measured quantities for one")
+    print("experiment (see DESIGN.md experiment index and EXPERIMENTS.md).")
+    print("=" * 78)
+    return True

@@ -1,0 +1,64 @@
+"""Braess paradox under adaptive rerouting with stale information.
+
+A traffic-engineering flavoured example: the Braess network gains a
+zero-latency shortcut, which *worsens* the equilibrium latency from 3/2 to 2.
+The example lets the paper's smooth adaptive agents discover both equilibria
+from scratch (with a stale bulletin board), confirms the paradox, and reports
+the price of anarchy of the instance computed by the baseline solvers.
+
+Run with::
+
+    python examples/braess_paradox.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import print_table
+from repro.core import replicator_policy, simulate
+from repro.instances import braess_equilibrium_latency, braess_network
+from repro.solvers import solve_wardrop_equilibrium
+from repro.wardrop import FlowVector, price_of_anarchy, social_cost
+
+
+def adaptive_equilibrium(network, horizon=60.0):
+    """Let the replicator policy find the equilibrium under stale information."""
+    policy = replicator_policy(network, exploration=1e-3)
+    period = policy.safe_update_period(network)
+    start = FlowVector.uniform(network)
+    trajectory = simulate(
+        network, policy, update_period=period, horizon=horizon, initial_flow=start
+    )
+    return trajectory.final_flow
+
+
+def main() -> None:
+    rows = []
+    for with_shortcut in [False, True]:
+        network = braess_network(with_shortcut=with_shortcut)
+        adaptive = adaptive_equilibrium(network)
+        reference = solve_wardrop_equilibrium(network).flow
+        rows.append(
+            {
+                "shortcut": with_shortcut,
+                "paths": network.num_paths,
+                "adaptive latency": adaptive.max_used_latency(),
+                "solver latency": reference.max_used_latency(),
+                "paper/known latency": braess_equilibrium_latency(with_shortcut),
+                "social cost": social_cost(adaptive),
+            }
+        )
+    print_table(rows, title="Braess paradox: equilibrium found by stale-information agents")
+
+    network = braess_network(with_shortcut=True)
+    cost_eq, cost_opt, ratio = price_of_anarchy(network)
+    print(f"Price of anarchy of the Braess instance: {cost_eq:.4g} / {cost_opt:.4g} = {ratio:.4g}")
+    print(
+        "\nNote how the adaptive agents, each following the simple two-step\n"
+        "sample-and-migrate rule against a stale bulletin board, end up at the\n"
+        "same (worse!) equilibrium the convex solver computes -- selfish\n"
+        "adaptation finds Wardrop equilibria, not social optima."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro: a reproduction of "Adaptive routing with stale information".
+
+Fischer & Voecking (PODC 2005 / TCS 2009) study load-adaptive rerouting in
+the Wardrop model when latency information is only refreshed every ``T`` time
+units (the bulletin-board model).  This package implements the full system:
+
+* :mod:`repro.wardrop` -- the Wardrop routing substrate (networks, latency
+  functions, flows, the Beckmann potential, equilibrium notions),
+* :mod:`repro.solvers` -- classical equilibrium solvers used as ground truth,
+* :mod:`repro.instances` -- the paper's instances and standard test networks,
+* :mod:`repro.core` -- the paper's contribution: two-step sample-and-migrate
+  rerouting policies, alpha-smoothness, the bulletin board, fluid-limit and
+  finite-agent simulators, best-response baseline and closed-form bounds,
+* :mod:`repro.analysis` -- convergence counting, oscillation detection,
+  parameter sweeps and table rendering for the benchmark harness.
+
+Quickstart::
+
+    from repro.instances import two_link_network, lopsided_flow
+    from repro.core import replicator_policy, simulate
+
+    network = two_link_network(beta=4.0)
+    policy = replicator_policy(network)
+    safe_T = policy.safe_update_period(network)
+    trajectory = simulate(network, policy, update_period=safe_T, horizon=50.0,
+                          initial_flow=lopsided_flow(network, 0.9))
+    print(trajectory.describe())
+"""
+
+from . import analysis, core, instances, solvers, wardrop
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "core", "instances", "solvers", "wardrop", "__version__"]

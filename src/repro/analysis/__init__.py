@@ -1,0 +1,54 @@
+"""Analysis toolkit: convergence counting, oscillation detection, sweeps, tables."""
+
+from .convergence import (
+    ConvergenceSummary,
+    count_bad_phases,
+    final_distance_to,
+    potential_is_monotone,
+    time_to_approximate_equilibrium,
+    time_to_potential_gap,
+)
+from .metrics import (
+    PhasePotentialStats,
+    final_equilibrium_violation,
+    final_potential_gap,
+    phase_potential_stats,
+    potential_decrease_rate,
+    trajectory_summary_row,
+)
+from .oscillation import OscillationReport, analyse_oscillation, phase_start_latency_trace
+from .reporting import format_value, print_table, render_comparison, render_table
+from .sweeps import (
+    SweepCase,
+    SweepResult,
+    cartesian,
+    convergence_row_builder,
+    run_sweep,
+)
+
+__all__ = [
+    "ConvergenceSummary",
+    "OscillationReport",
+    "PhasePotentialStats",
+    "SweepCase",
+    "SweepResult",
+    "analyse_oscillation",
+    "cartesian",
+    "convergence_row_builder",
+    "count_bad_phases",
+    "final_distance_to",
+    "final_equilibrium_violation",
+    "final_potential_gap",
+    "format_value",
+    "phase_potential_stats",
+    "phase_start_latency_trace",
+    "potential_decrease_rate",
+    "potential_is_monotone",
+    "print_table",
+    "render_comparison",
+    "render_table",
+    "run_sweep",
+    "time_to_approximate_equilibrium",
+    "time_to_potential_gap",
+    "trajectory_summary_row",
+]

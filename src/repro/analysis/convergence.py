@@ -1,0 +1,120 @@
+"""Convergence measurements matching the paper's convergence-time statements.
+
+Theorems 6 and 7 bound "the number of update periods not starting at a
+(weak) (delta, eps)-equilibrium".  The functions here compute exactly that
+quantity from a recorded trajectory (which stores the flow at every phase
+start), plus continuous-time variants (first time the potential gap or the
+unsatisfied volume drops below a target) that the examples report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from ..wardrop.equilibrium import unsatisfied_volume, weakly_unsatisfied_volume
+from ..wardrop.potential import potential
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Counts of "bad" update periods along one trajectory.
+
+    Attributes
+    ----------
+    total_phases:
+        Number of completed bulletin-board phases in the run.
+    bad_phases:
+        Phases whose *starting* flow was not a (delta, eps)-equilibrium
+        (Definition 3 volume above eps).
+    weak_bad_phases:
+        Phases whose starting flow was not a *weak* (delta, eps)-equilibrium
+        (Definition 4).
+    last_bad_phase:
+        Index of the last bad phase (-1 if none); useful to check that bad
+        phases stop occurring rather than merely being rare.
+    delta, epsilon:
+        The approximation parameters used.
+    """
+
+    total_phases: int
+    bad_phases: int
+    weak_bad_phases: int
+    last_bad_phase: int
+    delta: float
+    epsilon: float
+
+
+def count_bad_phases(trajectory: Trajectory, delta: float, epsilon: float) -> ConvergenceSummary:
+    """Count update periods not starting at a (weak) (delta, eps)-equilibrium."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError("epsilon must lie in (0, 1]")
+    bad = 0
+    weak_bad = 0
+    last_bad = -1
+    for phase in trajectory.phases:
+        start = phase.start_flow
+        if unsatisfied_volume(start, delta) > epsilon:
+            bad += 1
+            last_bad = phase.index
+        if weakly_unsatisfied_volume(start, delta) > epsilon:
+            weak_bad += 1
+    return ConvergenceSummary(
+        total_phases=len(trajectory.phases),
+        bad_phases=bad,
+        weak_bad_phases=weak_bad,
+        last_bad_phase=last_bad,
+        delta=delta,
+        epsilon=epsilon,
+    )
+
+
+def time_to_potential_gap(
+    trajectory: Trajectory, optimal_potential: float, gap: float
+) -> Optional[float]:
+    """Return the first recorded time at which ``Phi(f) - Phi* <= gap``.
+
+    ``None`` if the gap is never reached within the recorded horizon.
+    """
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    for point in trajectory.points:
+        if potential(point.flow) - optimal_potential <= gap:
+            return point.time
+    return None
+
+
+def time_to_approximate_equilibrium(
+    trajectory: Trajectory, delta: float, epsilon: float, weak: bool = False
+) -> Optional[float]:
+    """Return the first phase-start time at a (weak) (delta, eps)-equilibrium.
+
+    Measured at phase starts to match the theorem statements.  ``None`` if no
+    recorded phase start qualifies.
+    """
+    measure = weakly_unsatisfied_volume if weak else unsatisfied_volume
+    for phase in trajectory.phases:
+        if measure(phase.start_flow, delta) <= epsilon:
+            return phase.start_time
+    return None
+
+
+def potential_is_monotone(trajectory: Trajectory, slack: float = 1e-9) -> bool:
+    """Return True if the potential never increases along phase boundaries.
+
+    Under up-to-date information (Theorem 2) and under stale information with
+    a safe update period (Lemma 4) the potential measured at phase ends must
+    be non-increasing; oscillating runs violate this.
+    """
+    values = [potential(phase.end_flow) for phase in trajectory.phases]
+    return all(b <= a + slack for a, b in zip(values, values[1:]))
+
+
+def final_distance_to(trajectory: Trajectory, reference_values: np.ndarray) -> float:
+    """Return the L1 distance of the final flow to a reference flow vector."""
+    return float(np.abs(trajectory.final_flow.values() - np.asarray(reference_values)).sum())

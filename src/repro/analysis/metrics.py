@@ -1,0 +1,94 @@
+"""Scalar metrics extracted from trajectories for reports and benches.
+
+These helpers keep the benchmark code declarative: a bench builds a
+trajectory, then asks this module for the handful of scalars it prints
+(potential gap, equilibrium violation, Lemma 4 compliance rate, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from ..wardrop.equilibrium import equilibrium_violation
+from ..wardrop.potential import decompose_phase, potential
+
+
+@dataclass(frozen=True)
+class PhasePotentialStats:
+    """Per-run statistics of the Lemma 3/4 phase decomposition.
+
+    Attributes
+    ----------
+    phases:
+        Number of phases analysed.
+    max_identity_residual:
+        Largest absolute residual of the Lemma 3 identity
+        ``delta Phi = sum U_e + V`` (should be integrator noise only).
+    lemma4_violations:
+        Number of phases where ``delta Phi > V / 2`` by more than the slack --
+        zero is the Lemma 4 prediction when ``T <= T*``.
+    max_potential_increase:
+        Largest per-phase increase of the potential (0 for monotone runs).
+    """
+
+    phases: int
+    max_identity_residual: float
+    lemma4_violations: int
+    max_potential_increase: float
+
+
+def phase_potential_stats(trajectory: Trajectory, slack: float = 1e-7) -> PhasePotentialStats:
+    """Evaluate the Lemma 3 identity and the Lemma 4 inequality per phase."""
+    residuals: List[float] = []
+    violations = 0
+    max_increase = 0.0
+    for phase in trajectory.phases:
+        decomposition = decompose_phase(phase.start_flow, phase.end_flow)
+        residuals.append(abs(decomposition.identity_residual))
+        if not decomposition.satisfies_lemma4(slack=slack):
+            violations += 1
+        max_increase = max(max_increase, decomposition.delta_phi)
+    return PhasePotentialStats(
+        phases=len(trajectory.phases),
+        max_identity_residual=max(residuals) if residuals else 0.0,
+        lemma4_violations=violations,
+        max_potential_increase=max(max_increase, 0.0),
+    )
+
+
+def final_potential_gap(trajectory: Trajectory, optimal_potential: float) -> float:
+    """Return ``Phi(final flow) - Phi*``."""
+    return potential(trajectory.final_flow) - optimal_potential
+
+
+def final_equilibrium_violation(trajectory: Trajectory) -> float:
+    """Return the Wardrop-equilibrium violation of the final flow."""
+    return equilibrium_violation(trajectory.final_flow)
+
+
+def potential_decrease_rate(trajectory: Trajectory) -> float:
+    """Return the average per-phase potential decrease over the run.
+
+    Positive values mean the potential went down on average; oscillating runs
+    hover around zero.
+    """
+    values = np.array([potential(phase.end_flow) for phase in trajectory.phases])
+    if len(values) < 2:
+        return 0.0
+    return float(-(values[-1] - values[0]) / (len(values) - 1))
+
+
+def trajectory_summary_row(trajectory: Trajectory, optimal_potential: float) -> dict:
+    """Return a dictionary of the headline metrics of a run (for table rows)."""
+    return {
+        "policy": trajectory.policy_name,
+        "T": trajectory.update_period,
+        "phases": len(trajectory.phases),
+        "final_gap": final_potential_gap(trajectory, optimal_potential),
+        "final_violation": final_equilibrium_violation(trajectory),
+        "avg_latency": trajectory.final_flow.average_latency(),
+    }

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same kind of rows a paper table would contain:
+one row per parameter setting with a paper-predicted column next to the
+measured column.  This module renders those rows as aligned monospace tables
+so the benchmark output is readable in a terminal and in the captured
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Format one cell: floats compactly, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        table.append([format_value(row.get(column, ""), precision) for column in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(cell.ljust(width) for cell, width in zip(table[0], widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in table[1:]:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> None:
+    """Print a table (see :func:`render_table`) followed by a blank line."""
+    print(render_table(rows, columns=columns, title=title, precision=precision))
+    print()
+
+
+def render_comparison(
+    label: str, predicted: float, measured: float, note: str = ""
+) -> str:
+    """Render one 'paper vs measured' line used in EXPERIMENTS.md extracts."""
+    ratio = measured / predicted if predicted not in (0.0, float("inf")) else float("nan")
+    text = f"{label}: predicted={format_value(predicted)}, measured={format_value(measured)}"
+    if ratio == ratio:  # not NaN
+        text += f", measured/predicted={format_value(ratio)}"
+    if note:
+        text += f"  ({note})"
+    return text

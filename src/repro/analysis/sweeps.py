@@ -1,0 +1,103 @@
+"""Parameter-sweep harness shared by the benchmarks and examples.
+
+Every experiment in EXPERIMENTS.md is a sweep: run the same dynamics while
+varying one or two parameters (update period, smoothness, number of links,
+approximation target delta, population size ...) and collect one summary row
+per setting.  The harness here removes the boilerplate so each benchmark
+focuses on what it varies and what it measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.policy import ReroutingPolicy
+from ..core.simulator import simulate
+from ..core.trajectory import Trajectory
+from ..wardrop.flow import FlowVector
+from ..wardrop.network import WardropNetwork
+from .convergence import ConvergenceSummary, count_bad_phases
+
+RowBuilder = Callable[[Trajectory], Mapping[str, object]]
+
+
+@dataclass
+class SweepCase:
+    """One parameter setting of a sweep.
+
+    ``parameters`` are echoed into the result row; the remaining fields
+    define the run.
+    """
+
+    parameters: Dict[str, object]
+    network: WardropNetwork
+    policy: ReroutingPolicy
+    update_period: float
+    horizon: float
+    initial_flow: Optional[FlowVector] = None
+    stale: bool = True
+    steps_per_phase: int = 50
+
+
+@dataclass
+class SweepResult:
+    """The collected rows of a sweep, one per case."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def append(self, row: Mapping[str, object]) -> None:
+        self.rows.append(dict(row))
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_sweep(cases: Iterable[SweepCase], row_builder: RowBuilder) -> SweepResult:
+    """Run every case and collect ``parameters | row_builder(trajectory)`` rows."""
+    result = SweepResult()
+    for case in cases:
+        trajectory = simulate(
+            case.network,
+            case.policy,
+            update_period=case.update_period,
+            horizon=case.horizon,
+            initial_flow=case.initial_flow,
+            stale=case.stale,
+            steps_per_phase=case.steps_per_phase,
+        )
+        row: Dict[str, object] = dict(case.parameters)
+        row.update(row_builder(trajectory))
+        result.append(row)
+    return result
+
+
+def convergence_row_builder(delta: float, epsilon: float) -> RowBuilder:
+    """Return a row builder reporting the Theorem 6/7 bad-phase counts."""
+
+    def build(trajectory: Trajectory) -> Mapping[str, object]:
+        summary: ConvergenceSummary = count_bad_phases(trajectory, delta, epsilon)
+        return {
+            "phases": summary.total_phases,
+            "bad_phases": summary.bad_phases,
+            "weak_bad_phases": summary.weak_bad_phases,
+            "last_bad_phase": summary.last_bad_phase,
+        }
+
+    return build
+
+
+def cartesian(**axes: Sequence[object]) -> List[Dict[str, object]]:
+    """Return the cartesian product of named parameter axes as dicts.
+
+    ``cartesian(T=[0.1, 0.2], beta=[1, 2])`` yields four dictionaries; the
+    benches use this to spell out their grids declaratively.
+    """
+    names = list(axes)
+    combos: List[Dict[str, object]] = [{}]
+    for name in names:
+        combos = [dict(combo, **{name: value}) for combo in combos for value in axes[name]]
+    return combos

@@ -1,0 +1,182 @@
+"""Command-line interface for the reproduction library.
+
+The CLI exposes the workflows a downstream user needs most often without
+writing Python:
+
+* ``list-instances`` -- show the registered example networks,
+* ``describe``       -- print an instance's structure and theory constants
+  (``D``, ``beta``, ``l_max``, the safe update period for the linear rule),
+* ``solve``          -- compute the Wardrop equilibrium with Frank--Wolfe,
+* ``simulate``       -- run a rerouting policy under bulletin-board staleness
+  and report convergence / oscillation diagnostics,
+* ``oscillate``      -- reproduce the Section 3.2 best-response oscillation
+  for a chosen ``beta`` and update period.
+
+Examples::
+
+    python -m repro.cli list-instances
+    python -m repro.cli describe braess
+    python -m repro.cli solve pigou-quadratic
+    python -m repro.cli simulate two-links-steep --policy replicator --period auto
+    python -m repro.cli oscillate --beta 4 --period 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import analyse_oscillation, phase_start_latency_trace, print_table
+from .core import (
+    better_response_policy,
+    oscillation_amplitude,
+    replicator_policy,
+    simulate,
+    simulate_best_response,
+    uniform_policy,
+)
+from .instances import available_instances, get_instance, oscillation_initial_flow, two_link_network
+from .solvers import solve_wardrop_equilibrium
+from .wardrop import FlowVector, equilibrium_violation, potential
+
+POLICY_BUILDERS = {
+    "uniform": uniform_policy,
+    "replicator": replicator_policy,
+    "better-response": lambda network: better_response_policy(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Adaptive routing with stale information' (Fischer & Vöcking).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-instances", help="list registered example networks")
+
+    describe = subparsers.add_parser("describe", help="describe an instance and its theory constants")
+    describe.add_argument("instance", help="registered instance name")
+
+    solve = subparsers.add_parser("solve", help="compute the Wardrop equilibrium (Frank--Wolfe)")
+    solve.add_argument("instance", help="registered instance name")
+    solve.add_argument("--tolerance", type=float, default=1e-8, help="duality-gap tolerance")
+
+    run = subparsers.add_parser("simulate", help="simulate a rerouting policy under staleness")
+    run.add_argument("instance", help="registered instance name")
+    run.add_argument("--policy", choices=sorted(POLICY_BUILDERS), default="replicator")
+    run.add_argument(
+        "--period",
+        default="auto",
+        help="bulletin-board update period T, or 'auto' for the safe period 1/(4 D alpha beta)",
+    )
+    run.add_argument("--horizon", type=float, default=60.0, help="simulated time horizon")
+    run.add_argument("--fresh", action="store_true", help="use up-to-date information instead")
+
+    oscillate = subparsers.add_parser(
+        "oscillate", help="reproduce the Section 3.2 best-response oscillation"
+    )
+    oscillate.add_argument("--beta", type=float, default=4.0, help="latency slope beta")
+    oscillate.add_argument("--period", type=float, default=0.5, help="update period T")
+    oscillate.add_argument("--phases", type=int, default=30, help="number of update periods")
+    return parser
+
+
+def _cmd_list_instances() -> int:
+    for name in available_instances():
+        print(name)
+    return 0
+
+
+def _cmd_describe(instance: str) -> int:
+    network = get_instance(instance)
+    print(network.describe())
+    policy = uniform_policy(network)
+    print(f"  safe update period (linear rule) = {policy.safe_update_period(network):.6g}")
+    return 0
+
+
+def _cmd_solve(instance: str, tolerance: float) -> int:
+    network = get_instance(instance)
+    result = solve_wardrop_equilibrium(network, tolerance=tolerance)
+    rows = [
+        {
+            "path": description,
+            "flow": value,
+            "latency": latency,
+        }
+        for description, value, latency in zip(
+            network.paths.describe(), result.flow.values(), result.flow.path_latencies()
+        )
+    ]
+    print_table(rows, title=f"Wardrop equilibrium of {instance}")
+    print(f"potential = {result.potential_value:.6g}, duality gap = {result.duality_gap:.3g}, "
+          f"iterations = {result.iterations}, converged = {result.converged}")
+    return 0
+
+
+def _cmd_simulate(instance: str, policy_name: str, period: str, horizon: float, fresh: bool) -> int:
+    network = get_instance(instance)
+    policy = POLICY_BUILDERS[policy_name](network)
+    if period == "auto":
+        if policy.smoothness is None:
+            print("error: --period auto needs an alpha-smooth policy", file=sys.stderr)
+            return 2
+        update_period = policy.safe_update_period(network)
+    else:
+        update_period = float(period)
+        if update_period <= 0:
+            print("error: --period must be positive", file=sys.stderr)
+            return 2
+    start = FlowVector.single_path(network, {i: 0 for i in range(network.num_commodities)})
+    start = start.blend(FlowVector.uniform(network), 0.05)
+    trajectory = simulate(
+        network, policy, update_period=update_period, horizon=horizon,
+        initial_flow=start, stale=not fresh,
+    )
+    report = analyse_oscillation(trajectory)
+    print(trajectory.describe())
+    print(f"  update period T      = {update_period:.6g} ({'fresh info' if fresh else 'stale info'})")
+    print(f"  final potential      = {potential(trajectory.final_flow):.6g}")
+    print(f"  final eq. violation  = {equilibrium_violation(trajectory.final_flow):.6g}")
+    print(f"  final avg latency    = {trajectory.final_flow.average_latency():.6g}")
+    print(f"  tail oscillation     = {report.amplitude:.3g} "
+          f"({'oscillating' if report.is_oscillating else 'settled'})")
+    return 0
+
+
+def _cmd_oscillate(beta: float, period: float, phases: int) -> int:
+    network = two_link_network(beta=beta)
+    trajectory = simulate_best_response(
+        network, update_period=period, horizon=phases * period,
+        initial_flow=oscillation_initial_flow(network, period),
+    )
+    measured = phase_start_latency_trace(trajectory)
+    print(f"two-link instance, beta={beta}, T={period}, {phases} phases of best response")
+    print(f"  predicted phase-start latency X = {oscillation_amplitude(beta, period):.6g}")
+    print(f"  measured  phase-start latency   = {float(measured.mean()):.6g}")
+    report = analyse_oscillation(trajectory)
+    print(f"  oscillation period (phases)     = {report.period_phases}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-instances":
+        return _cmd_list_instances()
+    if args.command == "describe":
+        return _cmd_describe(args.instance)
+    if args.command == "solve":
+        return _cmd_solve(args.instance, args.tolerance)
+    if args.command == "simulate":
+        return _cmd_simulate(args.instance, args.policy, args.period, args.horizon, args.fresh)
+    if args.command == "oscillate":
+        return _cmd_oscillate(args.beta, args.period, args.phases)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

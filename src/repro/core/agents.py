@@ -1,0 +1,253 @@
+"""Finite-population agent-based simulator with Poisson activation clocks.
+
+The paper's analysis lives in the fluid limit (an infinite population of
+infinitesimal agents), but its motivation is a finite distributed system:
+``n`` agents, each controlling ``1/n``-th of the demand, each activated at
+the jumps of its own unit-rate Poisson process, each applying the two-step
+sample-and-migrate policy against the bulletin board.
+
+This module implements that finite system directly as a discrete-event
+simulation.  It serves two purposes in the reproduction:
+
+* it validates that the fluid-limit ODE is the right abstraction -- as ``n``
+  grows the empirical population shares converge to the ODE trajectory
+  (benchmark E9), and
+* it gives downstream users a simulator that matches the deployment story
+  (real routers/agents are finite), not just the analysis tool.
+
+The union of all agents' Poisson clocks is itself a Poisson process of rate
+``n``; the simulation therefore draws exponential inter-activation times of
+mean ``1/n`` and picks the activated agent uniformly -- an exact simulation,
+not a time-discretised one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..wardrop.flow import FlowVector
+from ..wardrop.network import WardropNetwork
+from .bulletin import BulletinBoard
+from .policy import ReroutingPolicy
+from .trajectory import PhaseRecord, Trajectory
+
+
+@dataclass
+class AgentSimulationConfig:
+    """Configuration of a finite-agent simulation.
+
+    Attributes
+    ----------
+    num_agents:
+        Population size ``n``; each agent carries ``1/n`` of the total demand
+        (agents are assigned to commodities proportionally to the demands).
+    update_period:
+        Bulletin-board refresh interval ``T``.
+    horizon:
+        Total simulated time.
+    seed:
+        Seed of the random generator driving activations, sampling and
+        migration coin flips.
+    record_interval:
+        Trajectory sampling interval (defaults to the update period).
+    """
+
+    num_agents: int = 1000
+    update_period: float = 0.1
+    horizon: float = 50.0
+    seed: int = 0
+    record_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_agents < 1:
+            raise ValueError("need at least one agent")
+        if self.update_period <= 0 or self.horizon <= 0:
+            raise ValueError("update period and horizon must be positive")
+
+
+class AgentBasedSimulator:
+    """Exact discrete-event simulation of finitely many rerouting agents."""
+
+    def __init__(self, network: WardropNetwork, policy: ReroutingPolicy, config: AgentSimulationConfig):
+        self.network = network
+        self.policy = policy
+        self.config = config
+
+    # Population setup -------------------------------------------------------
+
+    def _initial_assignment(self, initial_flow: Optional[FlowVector], rng: np.random.Generator) -> np.ndarray:
+        """Assign each agent to a path, matching the initial flow as closely as possible.
+
+        Agents are partitioned over commodities proportionally to the demands
+        and, within a commodity, over paths proportionally to the initial
+        flow (largest-remainder rounding keeps the counts exact).
+        """
+        network = self.network
+        flow = initial_flow or FlowVector.uniform(network)
+        n = self.config.num_agents
+        assignment = np.empty(n, dtype=int)
+        cursor = 0
+        counts = _largest_remainder(
+            np.array([c.demand for c in network.commodities]), n
+        )
+        for i in range(network.num_commodities):
+            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+            commodity_agents = counts[i]
+            shares = flow.values()[indices]
+            total = shares.sum()
+            weights = shares / total if total > 0 else np.full(len(indices), 1.0 / len(indices))
+            per_path = _largest_remainder(weights, commodity_agents)
+            for local, count in enumerate(per_path):
+                assignment[cursor : cursor + count] = indices[local]
+                cursor += count
+        return assignment
+
+    def _agent_weights(self) -> np.ndarray:
+        """Return the demand carried by each agent (uniform within a commodity)."""
+        network = self.network
+        n = self.config.num_agents
+        counts = _largest_remainder(np.array([c.demand for c in network.commodities]), n)
+        weights = np.empty(n)
+        cursor = 0
+        for i, commodity in enumerate(network.commodities):
+            count = counts[i]
+            weights[cursor : cursor + count] = commodity.demand / max(count, 1)
+            cursor += count
+        return weights
+
+    def _commodity_of_agents(self) -> np.ndarray:
+        network = self.network
+        n = self.config.num_agents
+        counts = _largest_remainder(np.array([c.demand for c in network.commodities]), n)
+        commodities = np.empty(n, dtype=int)
+        cursor = 0
+        for i, count in enumerate(counts):
+            commodities[cursor : cursor + count] = i
+            cursor += count
+        return commodities
+
+    # Simulation ----------------------------------------------------------------
+
+    def run(self, initial_flow: Optional[FlowVector] = None) -> Trajectory:
+        """Run the discrete-event simulation and return the recorded trajectory."""
+        config = self.config
+        network = self.network
+        rng = np.random.default_rng(config.seed)
+        assignment = self._initial_assignment(initial_flow, rng)
+        weights = self._agent_weights()
+        agent_commodity = self._commodity_of_agents()
+        n = config.num_agents
+
+        def current_flow_values() -> np.ndarray:
+            values = np.zeros(network.num_paths)
+            np.add.at(values, assignment, weights)
+            return values
+
+        board = BulletinBoard(network, config.update_period)
+        trajectory = Trajectory(
+            network=network,
+            policy_name=f"{self.policy.label()} (n={n})",
+            update_period=config.update_period,
+        )
+        record_interval = config.record_interval or config.update_period
+
+        time = 0.0
+        flow_values = current_flow_values()
+        board.post(time, flow_values)
+        trajectory.record(time, FlowVector(network, flow_values, validate=False), board.phase_index)
+        next_record = record_interval
+        phase_start_flow = FlowVector(network, flow_values, validate=False)
+        phase_start_time = 0.0
+
+        while time < config.horizon:
+            time += rng.exponential(1.0 / n)
+            if time > config.horizon:
+                break
+            # Refresh the bulletin board at phase boundaries we may have crossed.
+            if board.needs_update(time):
+                flow_values = current_flow_values()
+                end_flow = FlowVector(network, flow_values, validate=False)
+                trajectory.record_phase(
+                    PhaseRecord(
+                        index=board.phase_index,
+                        start_time=phase_start_time,
+                        end_time=board.phase_start(time),
+                        start_flow=phase_start_flow,
+                        end_flow=end_flow,
+                    )
+                )
+                board.post(time, flow_values)
+                phase_start_flow = end_flow
+                phase_start_time = board.phase_start(time)
+            snapshot = board.snapshot
+
+            # Activate one uniformly random agent and apply the two-step policy.
+            agent = int(rng.integers(n))
+            current_path = int(assignment[agent])
+            commodity = int(agent_commodity[agent])
+            indices = np.fromiter(network.paths.commodity_indices(commodity), dtype=int)
+            sigma = self.policy.sampling.probabilities(
+                network, snapshot.path_flows, snapshot.path_latencies
+            )
+            distribution = sigma[current_path, indices]
+            total = distribution.sum()
+            if total <= 0:
+                continue
+            sampled_local = int(rng.choice(len(indices), p=distribution / total))
+            sampled_path = int(indices[sampled_local])
+            if sampled_path == current_path:
+                continue
+            probability = self.policy.migration.probability(
+                float(snapshot.path_latencies[current_path]),
+                float(snapshot.path_latencies[sampled_path]),
+            )
+            if rng.random() < probability:
+                assignment[agent] = sampled_path
+
+            while next_record <= time:
+                trajectory.record(
+                    next_record,
+                    FlowVector(network, current_flow_values(), validate=False),
+                    board.phase_index,
+                )
+                next_record += record_interval
+
+        final_flow = FlowVector(network, current_flow_values(), validate=False)
+        trajectory.record(min(time, config.horizon), final_flow, board.phase_index)
+        return trajectory
+
+
+def _largest_remainder(weights: np.ndarray, total: int) -> np.ndarray:
+    """Apportion ``total`` integer units proportionally to ``weights``."""
+    weights = np.clip(np.asarray(weights, dtype=float), 0.0, None)
+    if weights.sum() <= 0:
+        weights = np.ones_like(weights)
+    exact = weights / weights.sum() * total
+    floors = np.floor(exact).astype(int)
+    remainder = total - int(floors.sum())
+    if remainder > 0:
+        order = np.argsort(-(exact - floors))
+        floors[order[:remainder]] += 1
+    return floors
+
+
+def simulate_agents(
+    network: WardropNetwork,
+    policy: ReroutingPolicy,
+    num_agents: int,
+    update_period: float,
+    horizon: float,
+    initial_flow: Optional[FlowVector] = None,
+    seed: int = 0,
+) -> Trajectory:
+    """Convenience wrapper around :class:`AgentBasedSimulator`."""
+    config = AgentSimulationConfig(
+        num_agents=num_agents,
+        update_period=update_period,
+        horizon=horizon,
+        seed=seed,
+    )
+    return AgentBasedSimulator(network, policy, config).run(initial_flow)

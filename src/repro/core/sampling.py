@@ -1,0 +1,162 @@
+"""Sampling rules: the first step of the two-step rerouting policy.
+
+When an agent of commodity ``i`` currently on path ``P`` is activated it
+first *samples* an alternative path ``Q in P_i`` according to a probability
+distribution ``sigma_PQ(f)`` (Section 2.2 of the paper).  The class of
+policies analysed in the paper requires
+
+* ``sigma_PQ`` continuous (in fact Lipschitz continuous) in the flow ``f``,
+* ``sigma_PQ > 0`` for every path ``Q`` -- otherwise paths needed at the
+  equilibrium could never be discovered.
+
+The concrete rules implemented here are the two rules the paper analyses plus
+the smoothed-best-response rule it discusses:
+
+* :class:`UniformSampling` -- ``sigma_PQ = 1 / |P_i|`` (Theorem 6),
+* :class:`ProportionalSampling` -- ``sigma_PQ = f_Q / r_i``, i.e. sample
+  another agent of the same commodity and look at its path; combined with the
+  linear migration rule this is the replicator dynamics (Theorem 7),
+* :class:`SoftmaxSampling` -- ``sigma_PQ ∝ exp(-c * l_Q)``, which approaches
+  best response as ``c`` grows (Section 2.2, Eq. before (2)).
+
+Sampling rules evaluate against the flow and latencies *posted on the
+bulletin board*, not the live ones; the simulator passes the stale values in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..wardrop.network import WardropNetwork
+
+
+class SamplingRule(ABC):
+    """A rule producing, per commodity, a distribution over sampled paths.
+
+    Implementations return a matrix ``sigma`` of shape ``(|P|, |P|)`` whose
+    entry ``sigma[p, q]`` is the probability that an agent on (global) path
+    ``p`` samples path ``q``.  Rows corresponding to paths of commodity ``i``
+    place probability only on paths of the same commodity and sum to one.
+    """
+
+    @abstractmethod
+    def probabilities(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        """Return the sampling matrix for the posted (bulletin-board) state."""
+
+    def validate(self, sigma: np.ndarray, network: WardropNetwork, tolerance: float = 1e-9) -> None:
+        """Check that ``sigma`` is a proper within-commodity stochastic matrix."""
+        if sigma.shape != (network.num_paths, network.num_paths):
+            raise ValueError("sampling matrix has the wrong shape")
+        if np.any(sigma < -tolerance):
+            raise ValueError("sampling probabilities must be non-negative")
+        for i in range(network.num_commodities):
+            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+            block = sigma[np.ix_(indices, indices)]
+            row_sums = block.sum(axis=1)
+            if np.any(np.abs(row_sums - 1.0) > 1e-6):
+                raise ValueError(f"sampling rows of commodity {i} do not sum to one")
+            outside = sigma[np.ix_(indices, np.setdiff1d(np.arange(network.num_paths), indices))]
+            if outside.size and np.any(np.abs(outside) > tolerance):
+                raise ValueError("sampling leaks probability across commodities")
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class UniformSampling(SamplingRule):
+    """Sample a path of the own commodity uniformly at random.
+
+    ``sigma_PQ = 1 / |P_i|`` for all ``P, Q in P_i``; independent of the flow,
+    hence trivially Lipschitz continuous and everywhere positive.
+    """
+
+    def probabilities(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        sigma = np.zeros((network.num_paths, network.num_paths))
+        for i in range(network.num_commodities):
+            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+            sigma[np.ix_(indices, indices)] = 1.0 / len(indices)
+        return sigma
+
+
+class ProportionalSampling(SamplingRule):
+    """Sample a path proportionally to the flow using it (replicator sampling).
+
+    ``sigma_PQ(f) = f_Q / r_i``: pick another agent of the commodity uniformly
+    at random and consider its path.  To keep the rule strictly positive on
+    all paths -- a requirement for convergence to equilibria whose support may
+    include currently unused paths -- an ``exploration`` mass is mixed in
+    uniformly (the paper's positivity requirement ``sigma_PQ > 0``).
+    """
+
+    def __init__(self, exploration: float = 1e-6):
+        if not 0.0 <= exploration < 1.0:
+            raise ValueError("exploration must lie in [0, 1)")
+        self.exploration = float(exploration)
+
+    def probabilities(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        sigma = np.zeros((network.num_paths, network.num_paths))
+        for i, commodity in enumerate(network.commodities):
+            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+            shares = np.clip(posted_flows[indices], 0.0, None)
+            total = shares.sum()
+            if total <= 0:
+                distribution = np.full(len(indices), 1.0 / len(indices))
+            else:
+                distribution = shares / total
+            if self.exploration > 0:
+                distribution = (
+                    (1.0 - self.exploration) * distribution
+                    + self.exploration / len(indices)
+                )
+            sigma[np.ix_(indices, indices)] = np.tile(distribution, (len(indices), 1))
+        return sigma
+
+
+class SoftmaxSampling(SamplingRule):
+    """Smoothed best-response sampling ``sigma_PQ ∝ exp(-c * l_Q)``.
+
+    For large ``c`` the distribution concentrates on the minimum-latency path
+    and the combined policy approximates best response; the paper notes that
+    such policies formally fit the smooth class but with a large smoothness
+    parameter, and the benchmarks use this rule to interpolate between
+    convergent and oscillating behaviour.
+    """
+
+    def __init__(self, concentration: float = 1.0):
+        if concentration <= 0:
+            raise ValueError("concentration parameter c must be positive")
+        self.concentration = float(concentration)
+
+    def probabilities(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        sigma = np.zeros((network.num_paths, network.num_paths))
+        for i in range(network.num_commodities):
+            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+            latencies = posted_path_latencies[indices]
+            # Subtract the minimum before exponentiating for numerical safety.
+            scores = np.exp(-self.concentration * (latencies - latencies.min()))
+            distribution = scores / scores.sum()
+            sigma[np.ix_(indices, indices)] = np.tile(distribution, (len(indices), 1))
+        return sigma

@@ -1,0 +1,206 @@
+"""The fluid-limit rerouting simulator with bulletin-board staleness.
+
+:class:`ReroutingSimulator` integrates the dynamics of Eq. (3): at the start
+of every phase of length ``T`` the bulletin board is refreshed with the live
+edge latencies (and flow shares), and for the duration of the phase the
+migration-rate field is computed against that frozen snapshot while the true
+flow keeps moving.  Setting ``stale=False`` runs the up-to-date information
+dynamics of Eq. (1) instead (the board is refreshed at every integration
+step), which is the setting of Theorem 2.
+
+The simulator records a :class:`~repro.core.trajectory.Trajectory` with
+per-phase start/end flows, which is exactly the granularity the paper's
+convergence-time statements are about ("the number of update periods not
+starting at an approximate equilibrium").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..wardrop.flow import FlowVector
+from ..wardrop.network import WardropNetwork
+from .bulletin import BulletinBoard, FreshInformationBoard
+from .dynamics import integrate, integration_step_for
+from .policy import ReroutingPolicy
+from .trajectory import PhaseRecord, Trajectory
+
+StoppingCondition = Callable[[float, FlowVector], bool]
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of a fluid-limit simulation run.
+
+    Attributes
+    ----------
+    update_period:
+        The bulletin-board refresh interval ``T``.
+    horizon:
+        Total simulated time.
+    steps_per_phase:
+        Number of integrator sub-steps per phase (controls accuracy).
+    method:
+        Integration scheme, ``"rk4"`` (default) or ``"euler"``.
+    stale:
+        If ``False`` the board is refreshed continuously (up-to-date
+        information, Eq. 1); if ``True`` (default) it is refreshed only at
+        phase boundaries (Eq. 3).
+    record_every_step:
+        If ``True`` a trajectory point is recorded at every integration
+        sub-step; otherwise only at phase boundaries (the default, and what
+        the convergence-time analyses need).
+    """
+
+    update_period: float = 0.1
+    horizon: float = 50.0
+    steps_per_phase: int = 50
+    method: str = "rk4"
+    stale: bool = True
+    record_every_step: bool = False
+
+    def __post_init__(self) -> None:
+        if self.update_period <= 0:
+            raise ValueError("update_period must be positive")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.steps_per_phase <= 0:
+            raise ValueError("steps_per_phase must be positive")
+
+
+class ReroutingSimulator:
+    """Simulates a rerouting policy on a network in the fluid limit."""
+
+    def __init__(self, network: WardropNetwork, policy: ReroutingPolicy, config: SimulationConfig):
+        self.network = network
+        self.policy = policy
+        self.config = config
+
+    def run(
+        self,
+        initial_flow: Optional[FlowVector] = None,
+        stop_when: Optional[StoppingCondition] = None,
+    ) -> Trajectory:
+        """Run the simulation and return the recorded trajectory.
+
+        ``stop_when(time, flow)`` is evaluated at every phase boundary; when
+        it returns ``True`` the run ends early (the final state is still
+        recorded).
+        """
+        config = self.config
+        network = self.network
+        flow = initial_flow or FlowVector.uniform(network)
+        if flow.network is not network:
+            raise ValueError("initial flow belongs to a different network")
+        board: BulletinBoard
+        if config.stale:
+            board = BulletinBoard(network, config.update_period)
+        else:
+            board = FreshInformationBoard(network)
+        trajectory = Trajectory(
+            network=network,
+            policy_name=self.policy.label(),
+            update_period=config.update_period if config.stale else 0.0,
+        )
+        step = integration_step_for(config.update_period, config.steps_per_phase)
+        time = 0.0
+        board.post(time, flow.values())
+        trajectory.record(time, flow, board.phase_index)
+
+        num_phases = int(np.ceil(config.horizon / config.update_period))
+        for phase in range(num_phases):
+            phase_start = phase * config.update_period
+            phase_end = min((phase + 1) * config.update_period, config.horizon)
+            start_flow = flow
+            if config.stale:
+                # One frozen snapshot for the whole phase.
+                board.maybe_update(phase_start, flow.values())
+                snapshot = board.snapshot
+
+                def field(_t: float, state: np.ndarray) -> np.ndarray:
+                    return self.policy.growth_rates(
+                        network, state, snapshot.path_flows, snapshot.path_latencies
+                    )
+
+                new_values = self._integrate_phase(
+                    field, flow.values(), phase_start, phase_end, step, trajectory, phase
+                )
+            else:
+                # Up-to-date information: probabilities follow the live state.
+                def field(_t: float, state: np.ndarray) -> np.ndarray:
+                    live_latencies = network.path_latencies(state)
+                    return self.policy.growth_rates(network, state, state, live_latencies)
+
+                new_values = self._integrate_phase(
+                    field, flow.values(), phase_start, phase_end, step, trajectory, phase
+                )
+                board.post(phase_end, new_values)
+            flow = FlowVector(network, new_values, validate=False).projected()
+            trajectory.record_phase(
+                PhaseRecord(
+                    index=phase,
+                    start_time=phase_start,
+                    end_time=phase_end,
+                    start_flow=start_flow,
+                    end_flow=flow,
+                )
+            )
+            trajectory.record(phase_end, flow, phase)
+            if stop_when is not None and stop_when(phase_end, flow):
+                break
+            if phase_end >= config.horizon:
+                break
+        return trajectory
+
+    def _integrate_phase(
+        self,
+        field,
+        state: np.ndarray,
+        phase_start: float,
+        phase_end: float,
+        step: float,
+        trajectory: Trajectory,
+        phase: int,
+    ) -> np.ndarray:
+        """Integrate one phase, optionally recording every integrator sub-step."""
+        if not self.config.record_every_step:
+            return integrate(field, state, phase_start, phase_end, step, self.config.method)
+        duration = phase_end - phase_start
+        num_steps = max(1, int(np.ceil(duration / step)))
+        sub_step = duration / num_steps
+        current = state
+        for i in range(num_steps):
+            t0 = phase_start + i * sub_step
+            current = integrate(field, current, t0, t0 + sub_step, sub_step, self.config.method)
+            if i + 1 < num_steps:
+                trajectory.record(
+                    t0 + sub_step,
+                    FlowVector(self.network, current, validate=False).projected(),
+                    phase,
+                )
+        return current
+
+
+def simulate(
+    network: WardropNetwork,
+    policy: ReroutingPolicy,
+    update_period: float,
+    horizon: float,
+    initial_flow: Optional[FlowVector] = None,
+    stale: bool = True,
+    steps_per_phase: int = 50,
+    method: str = "rk4",
+    stop_when: Optional[StoppingCondition] = None,
+) -> Trajectory:
+    """Convenience wrapper building a simulator and running it once."""
+    config = SimulationConfig(
+        update_period=update_period,
+        horizon=horizon,
+        steps_per_phase=steps_per_phase,
+        method=method,
+        stale=stale,
+    )
+    return ReroutingSimulator(network, policy, config).run(initial_flow, stop_when=stop_when)

@@ -1,0 +1,46 @@
+"""Instance library: the paper's examples plus standard selfish-routing nets.
+
+Includes the two-link oscillation instance of Section 3.2, Pigou and Braess
+networks, parallel-link families for the convergence-time sweeps and random
+layered/grid networks for stress tests.
+"""
+
+from .braess import braess_equilibrium, braess_equilibrium_latency, braess_network
+from .grids import grid_network
+from .parallel_links import (
+    heterogeneous_affine_links,
+    identical_linear_links,
+    parallel_links_network,
+    pigou_like_links,
+)
+from .pigou import pigou_equilibrium, pigou_network, pigou_optimal_cost
+from .random_networks import random_layered_network
+from .registry import available_instances, get_instance, register_instance
+from .two_links import (
+    equilibrium_flow,
+    lopsided_flow,
+    oscillation_initial_flow,
+    two_link_network,
+)
+
+__all__ = [
+    "available_instances",
+    "braess_equilibrium",
+    "braess_equilibrium_latency",
+    "braess_network",
+    "equilibrium_flow",
+    "get_instance",
+    "grid_network",
+    "heterogeneous_affine_links",
+    "identical_linear_links",
+    "lopsided_flow",
+    "oscillation_initial_flow",
+    "parallel_links_network",
+    "pigou_equilibrium",
+    "pigou_network",
+    "pigou_optimal_cost",
+    "pigou_like_links",
+    "random_layered_network",
+    "register_instance",
+    "two_link_network",
+]

@@ -1,0 +1,59 @@
+"""The Braess network: the smallest instance with genuinely multi-edge paths.
+
+The classical Braess graph has four nodes (s, a, b, t), edges
+
+    s->a : x        a->t : 1
+    s->b : 1        b->t : x
+    a->b : 0        (the "shortcut")
+
+and unit demand from s to t.  It has three paths (s-a-t, s-b-t, s-a-b-t), so
+the maximum path length is ``D = 3`` -- which matters for the safe update
+period ``T* = 1/(4 D alpha beta)`` -- and exhibits the Braess paradox: adding
+the shortcut raises the equilibrium latency from 3/2 to 2.
+
+The reproduction uses it wherever a small instance with ``D > 1`` and
+overlapping paths is needed (the Lemma 3/4 potential decomposition is only
+interesting when paths share edges).
+"""
+
+from __future__ import annotations
+
+from ..wardrop.commodity import Commodity
+from ..wardrop.flow import FlowVector
+from ..wardrop.latency import ConstantLatency, LinearLatency
+from ..wardrop.network import WardropNetwork
+
+
+def braess_network(with_shortcut: bool = True, shortcut_latency: float = 0.0) -> WardropNetwork:
+    """Build the Braess network, optionally without the zero-latency shortcut."""
+    edges = [
+        ("s", "a", LinearLatency(1.0)),
+        ("a", "t", ConstantLatency(1.0)),
+        ("s", "b", ConstantLatency(1.0)),
+        ("b", "t", LinearLatency(1.0)),
+    ]
+    if with_shortcut:
+        edges.append(("a", "b", ConstantLatency(shortcut_latency)))
+    return WardropNetwork.from_edges(edges, [Commodity("s", "t", 1.0, name="braess")])
+
+
+def braess_equilibrium(network: WardropNetwork) -> FlowVector:
+    """Return the exact equilibrium of the (unit-demand) Braess network.
+
+    With the shortcut present all traffic uses the path s-a-b-t (latency 2);
+    without it the demand splits evenly between the two two-edge paths
+    (latency 3/2 each).
+    """
+    descriptions = network.paths.describe()
+    flows = [0.0] * network.num_paths
+    if "s->a->b->t" in descriptions:
+        flows[descriptions.index("s->a->b->t")] = 1.0
+    else:
+        flows[descriptions.index("s->a->t")] = 0.5
+        flows[descriptions.index("s->b->t")] = 0.5
+    return FlowVector(network, flows)
+
+
+def braess_equilibrium_latency(with_shortcut: bool = True) -> float:
+    """Return the known equilibrium latency: 2 with the shortcut, 3/2 without."""
+    return 2.0 if with_shortcut else 1.5

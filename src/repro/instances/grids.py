@@ -1,0 +1,74 @@
+"""Grid networks: multi-commodity instances with longer paths.
+
+An ``n x m`` directed grid (edges pointing right and down) with affine edge
+latencies gives instances whose maximum path length ``D`` grows with the grid
+size, which is exactly the knob the safe-update-period bound
+``T* = 1/(4 D alpha beta)`` depends on.  Commodities route from the top-left
+region to the bottom-right region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..wardrop.commodity import Commodity
+from ..wardrop.latency import AffineLatency
+from ..wardrop.network import LATENCY_ATTR, WardropNetwork
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    num_commodities: int = 1,
+    slope_range: tuple = (0.5, 1.5),
+    intercept_range: tuple = (0.0, 0.5),
+    seed: Optional[int] = 0,
+    max_paths: int = 10_000,
+) -> WardropNetwork:
+    """Build a ``rows x cols`` grid with random affine latencies.
+
+    Edges point right and down only, so every path from the top-left corner
+    to the bottom-right corner has exactly ``rows + cols - 2`` edges.
+    Commodities are chosen as corner-to-corner pairs of nested sub-grids so
+    that they overlap (and therefore interact through shared edges).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid must be at least 2 x 2")
+    if num_commodities < 1:
+        raise ValueError("need at least one commodity")
+    rng = np.random.default_rng(seed)
+    graph = nx.MultiDiGraph()
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(
+                    (r, c),
+                    (r, c + 1),
+                    **{LATENCY_ATTR: _random_affine(rng, slope_range, intercept_range)},
+                )
+            if r + 1 < rows:
+                graph.add_edge(
+                    (r, c),
+                    (r + 1, c),
+                    **{LATENCY_ATTR: _random_affine(rng, slope_range, intercept_range)},
+                )
+    commodities: List[Commodity] = []
+    for i in range(num_commodities):
+        # Nested corner pairs: (0,0)->(rows-1,cols-1), (0,1)->(rows-1,cols-2), ...
+        source = (0, min(i, cols - 2))
+        sink = (rows - 1, max(cols - 1 - i, 1))
+        if source[1] >= sink[1]:
+            source = (0, 0)
+            sink = (rows - 1, cols - 1)
+        commodities.append(Commodity(source, sink, 1.0, name=f"grid-{i}"))
+    return WardropNetwork(graph, commodities, normalise=True, max_paths=max_paths)
+
+
+def _random_affine(rng: np.random.Generator, slope_range: tuple, intercept_range: tuple) -> AffineLatency:
+    return AffineLatency(
+        slope=float(rng.uniform(*slope_range)),
+        intercept=float(rng.uniform(*intercept_range)),
+    )

@@ -1,0 +1,73 @@
+"""Parallel-link instance families.
+
+Parallel-link networks with ``m`` edges are the natural testbed for the
+convergence-time theorems: the number of paths ``|P|`` equals the number of
+links, so sweeping ``m`` directly exercises the ``|P|`` factor that separates
+Theorem 6 (uniform sampling) from Theorem 7 (proportional sampling).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..wardrop.commodity import Commodity
+from ..wardrop.latency import AffineLatency, LatencyFunction, LinearLatency, MonomialLatency
+from ..wardrop.network import WardropNetwork
+
+
+def parallel_links_network(latencies: Sequence[LatencyFunction], demand: float = 1.0) -> WardropNetwork:
+    """Build a single-commodity network of parallel links with given latencies."""
+    if not latencies:
+        raise ValueError("need at least one link")
+    edges = [("s", "t", latency) for latency in latencies]
+    return WardropNetwork.from_edges(edges, [Commodity("s", "t", demand, name="parallel")])
+
+
+def identical_linear_links(num_links: int, slope: float = 1.0) -> WardropNetwork:
+    """``m`` identical links with latency ``slope * x``.
+
+    The equilibrium splits the demand evenly; useful because the equilibrium
+    is known in closed form for any ``m``.
+    """
+    if num_links < 1:
+        raise ValueError("need at least one link")
+    return parallel_links_network([LinearLatency(slope) for _ in range(num_links)])
+
+def heterogeneous_affine_links(
+    num_links: int,
+    slope_range: tuple = (0.5, 2.0),
+    intercept_range: tuple = (0.0, 0.5),
+    seed: Optional[int] = None,
+) -> WardropNetwork:
+    """``m`` affine links with slopes and intercepts drawn from given ranges.
+
+    With a fixed ``seed`` the instance is reproducible; the benchmark sweeps
+    use this family to vary ``|P|`` while keeping the latency class fixed.
+    """
+    if num_links < 1:
+        raise ValueError("need at least one link")
+    rng = np.random.default_rng(seed)
+    latencies: List[LatencyFunction] = []
+    for _ in range(num_links):
+        slope = float(rng.uniform(*slope_range))
+        intercept = float(rng.uniform(*intercept_range))
+        latencies.append(AffineLatency(slope, intercept))
+    return parallel_links_network(latencies)
+
+
+def pigou_like_links(num_links: int, degree: int = 2) -> WardropNetwork:
+    """One constant-latency link competing with ``m - 1`` monomial links.
+
+    Generalises the Pigou instance to more links; the non-linear links make
+    the slope bound ``beta`` grow with the degree, stressing the safe update
+    period ``T* = 1/(4 D alpha beta)``.
+    """
+    if num_links < 2:
+        raise ValueError("need at least two links")
+    from ..wardrop.latency import ConstantLatency
+
+    latencies: List[LatencyFunction] = [ConstantLatency(1.0)]
+    latencies.extend(MonomialLatency(1.0, degree) for _ in range(num_links - 1))
+    return parallel_links_network(latencies)

@@ -1,0 +1,55 @@
+"""The Pigou instance: the canonical two-link selfish-routing example.
+
+One link has constant latency 1, the other has latency ``x**degree``.  At the
+Wardrop equilibrium all traffic uses the variable link (latency 1 everywhere),
+while the social optimum keeps part of the traffic on the constant link.  The
+instance is the standard illustration of the price of anarchy (4/3 for the
+linear case) and serves here as a small, well-understood workload for the
+example applications and for convergence tests where the equilibrium has a
+*non-uniform* support.
+"""
+
+from __future__ import annotations
+
+from ..wardrop.commodity import Commodity
+from ..wardrop.flow import FlowVector
+from ..wardrop.latency import ConstantLatency, MonomialLatency
+from ..wardrop.network import WardropNetwork
+
+
+def pigou_network(degree: int = 1, constant: float = 1.0) -> WardropNetwork:
+    """Build the Pigou network with latencies ``constant`` and ``x**degree``."""
+    return WardropNetwork.from_edges(
+        [
+            ("s", "t", ConstantLatency(constant)),
+            ("s", "t", MonomialLatency(1.0, degree)),
+        ],
+        [Commodity("s", "t", 1.0, name="pigou")],
+    )
+
+
+def pigou_equilibrium(network: WardropNetwork) -> FlowVector:
+    """Return the exact Wardrop equilibrium of the (unit-demand) Pigou network.
+
+    With constant latency ``c >= 1`` on the first link the whole demand takes
+    the variable link as soon as ``1**degree <= c``; more generally the
+    variable link absorbs ``min(1, c**(1/degree))``.
+    """
+    constant_latency = network.latency_function(network.paths[0].edges[0])
+    variable_latency = network.latency_function(network.paths[1].edges[0])
+    constant = constant_latency.value(0.0)
+    degree = getattr(variable_latency, "degree", 1)
+    on_variable = min(1.0, constant ** (1.0 / degree))
+    return FlowVector(network, [1.0 - on_variable, on_variable])
+
+
+def pigou_optimal_cost(degree: int = 1) -> float:
+    """Return the social-optimum cost of the unit-demand, constant=1 Pigou net.
+
+    Minimise ``x * x**d + (1 - x) * 1`` over ``x in [0, 1]``; the minimiser is
+    ``x = (1/(d+1))**(1/d)`` which gives the closed-form optimum used in tests.
+    """
+    if degree < 1:
+        raise ValueError("degree must be at least 1")
+    x = (1.0 / (degree + 1.0)) ** (1.0 / degree)
+    return x ** (degree + 1) + (1.0 - x)

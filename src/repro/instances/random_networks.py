@@ -1,0 +1,73 @@
+"""Random multi-commodity instances for stress and property-based tests.
+
+The generator draws a random directed acyclic graph in layers (so that path
+enumeration stays bounded), attaches random polynomial latencies and picks
+commodities between the first and last layers.  With a fixed seed the
+instance is fully reproducible, which the hypothesis-based tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..wardrop.commodity import Commodity
+from ..wardrop.latency import PolynomialLatency
+from ..wardrop.network import LATENCY_ATTR, WardropNetwork
+
+
+def random_layered_network(
+    num_layers: int = 3,
+    width: int = 3,
+    num_commodities: int = 2,
+    max_degree: int = 2,
+    edge_probability: float = 0.7,
+    seed: Optional[int] = 0,
+    max_paths: int = 5_000,
+) -> WardropNetwork:
+    """Build a random layered DAG instance.
+
+    Nodes are arranged in ``num_layers`` layers of ``width`` nodes; edges only
+    go from one layer to the next, each present with ``edge_probability`` and
+    carrying a random polynomial latency of degree at most ``max_degree`` with
+    non-negative coefficients.  A source node feeds the first layer and a sink
+    collects the last layer, guaranteeing that every commodity is routable.
+    """
+    if num_layers < 1 or width < 1:
+        raise ValueError("need at least one layer of width one")
+    rng = np.random.default_rng(seed)
+    graph = nx.MultiDiGraph()
+    source, sink = "source", "sink"
+
+    def random_latency() -> PolynomialLatency:
+        degree = int(rng.integers(1, max_degree + 1))
+        coefficients = [float(rng.uniform(0.0, 0.3))] + [
+            float(rng.uniform(0.1, 1.0)) for _ in range(degree)
+        ]
+        return PolynomialLatency(coefficients)
+
+    layers: List[List[str]] = [
+        [f"n{layer}_{i}" for i in range(width)] for layer in range(num_layers)
+    ]
+    for node in layers[0]:
+        graph.add_edge(source, node, **{LATENCY_ATTR: random_latency()})
+    for node in layers[-1]:
+        graph.add_edge(node, sink, **{LATENCY_ATTR: random_latency()})
+    for upper, lower in zip(layers, layers[1:]):
+        connected_pairs = 0
+        for u in upper:
+            for v in lower:
+                if rng.random() < edge_probability:
+                    graph.add_edge(u, v, **{LATENCY_ATTR: random_latency()})
+                    connected_pairs += 1
+        if connected_pairs == 0:
+            # Guarantee connectivity layer to layer.
+            graph.add_edge(upper[0], lower[0], **{LATENCY_ATTR: random_latency()})
+
+    commodities = [
+        Commodity(source, sink, 1.0 / num_commodities, name=f"random-{i}")
+        for i in range(num_commodities)
+    ]
+    return WardropNetwork(graph, commodities, normalise=True, max_paths=max_paths)

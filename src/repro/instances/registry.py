@@ -1,0 +1,63 @@
+"""A registry of named instances used by examples, benchmarks and tests.
+
+``get_instance(name)`` builds a fresh network for a registered name; the
+registry keeps the benchmark harness declarative (each bench names the
+instances it sweeps instead of re-implementing constructors).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..wardrop.network import WardropNetwork
+from .braess import braess_network
+from .grids import grid_network
+from .parallel_links import heterogeneous_affine_links, identical_linear_links, pigou_like_links
+from .pigou import pigou_network
+from .random_networks import random_layered_network
+from .two_links import two_link_network
+
+InstanceFactory = Callable[[], WardropNetwork]
+
+_REGISTRY: Dict[str, InstanceFactory] = {
+    "two-links": lambda: two_link_network(beta=1.0),
+    "two-links-steep": lambda: two_link_network(beta=8.0),
+    "pigou-linear": lambda: pigou_network(degree=1),
+    "pigou-quadratic": lambda: pigou_network(degree=2),
+    "braess": lambda: braess_network(with_shortcut=True),
+    "braess-no-shortcut": lambda: braess_network(with_shortcut=False),
+    "parallel-4": lambda: identical_linear_links(4),
+    "parallel-8-affine": lambda: heterogeneous_affine_links(8, seed=7),
+    "parallel-16-affine": lambda: heterogeneous_affine_links(16, seed=7),
+    "pigou-like-6": lambda: pigou_like_links(6, degree=2),
+    "grid-3x3": lambda: grid_network(3, 3, num_commodities=1, seed=3),
+    "grid-3x3-2c": lambda: grid_network(3, 3, num_commodities=2, seed=3),
+    "random-layered": lambda: random_layered_network(num_layers=3, width=3, seed=11),
+}
+
+
+def register_instance(name: str, factory: InstanceFactory, overwrite: bool = False) -> None:
+    """Register a new named instance factory.
+
+    Raises ``ValueError`` if the name is already taken and ``overwrite`` is
+    not set.
+    """
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"instance {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_instance(name: str) -> WardropNetwork:
+    """Build and return the registered instance ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown instance {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from error
+    return factory()
+
+
+def available_instances() -> List[str]:
+    """Return the sorted list of registered instance names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,29 @@
+"""Baseline equilibrium solvers used as ground truth for the dynamics.
+
+The adaptive rerouting policies of the paper converge to Wardrop equilibria;
+these solvers compute the same equilibria by classical convex optimisation
+(Frank--Wolfe on the Beckmann potential) or exactly (water-filling for
+parallel links) so that the dynamics can be validated against them.
+"""
+
+from .frank_wolfe import (
+    EquilibriumResult,
+    all_or_nothing_flow,
+    duality_gap,
+    optimal_potential,
+    solve_wardrop_equilibrium,
+)
+from .line_search import bisection_root, golden_section_minimise
+from .parallel_links import equilibrium_latency_level, solve_parallel_links
+
+__all__ = [
+    "EquilibriumResult",
+    "all_or_nothing_flow",
+    "bisection_root",
+    "duality_gap",
+    "equilibrium_latency_level",
+    "golden_section_minimise",
+    "optimal_potential",
+    "solve_parallel_links",
+    "solve_wardrop_equilibrium",
+]

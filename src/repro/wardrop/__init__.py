@@ -1,0 +1,109 @@
+"""The Wardrop routing substrate: networks, flows, potential and equilibria.
+
+This subpackage implements the model of Section 2.1 of Fischer & Vöcking,
+"Adaptive routing with stale information": directed multigraphs with
+continuous non-decreasing latency functions, commodities with normalised
+demands, path-flow vectors, the Beckmann--McGuire--Winsten potential and the
+exact and approximate Wardrop-equilibrium notions used by the convergence
+theorems.
+"""
+
+from .commodity import Commodity, demands_are_normalised, normalise_demands, total_demand
+from .flow import FlowVector
+from .latency import (
+    AffineLatency,
+    BPRLatency,
+    ConstantLatency,
+    LatencyFunction,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PiecewiseLinearLatency,
+    PolynomialLatency,
+    ScaledLatency,
+    SumLatency,
+    ThresholdLatency,
+)
+from .network import LATENCY_ATTR, WardropNetwork
+from .paths import Path, PathSet, build_path_set, enumerate_commodity_paths
+from .potential import (
+    PotentialDecomposition,
+    decompose_phase,
+    error_terms,
+    potential,
+    potential_gap,
+    potential_of_edge_flows,
+    potential_trace,
+    virtual_potential_gain,
+)
+from .equilibrium import (
+    EquilibriumReport,
+    equilibrium_violation,
+    is_approximate_equilibrium,
+    is_wardrop_equilibrium,
+    is_weak_approximate_equilibrium,
+    report,
+    support,
+    unsatisfied_volume,
+    weakly_unsatisfied_volume,
+)
+from .social_cost import (
+    MarginalCostLatency,
+    marginal_cost_network,
+    optimal_flow,
+    price_of_anarchy,
+    social_cost,
+)
+from .validation import InstanceValidationError, ValidationReport, assert_valid, validate_network
+
+__all__ = [
+    "AffineLatency",
+    "BPRLatency",
+    "Commodity",
+    "ConstantLatency",
+    "EquilibriumReport",
+    "FlowVector",
+    "InstanceValidationError",
+    "LATENCY_ATTR",
+    "LatencyFunction",
+    "LinearLatency",
+    "MM1Latency",
+    "MarginalCostLatency",
+    "MonomialLatency",
+    "Path",
+    "PathSet",
+    "PiecewiseLinearLatency",
+    "PolynomialLatency",
+    "PotentialDecomposition",
+    "ScaledLatency",
+    "SumLatency",
+    "ThresholdLatency",
+    "ValidationReport",
+    "WardropNetwork",
+    "assert_valid",
+    "build_path_set",
+    "decompose_phase",
+    "demands_are_normalised",
+    "enumerate_commodity_paths",
+    "equilibrium_violation",
+    "error_terms",
+    "is_approximate_equilibrium",
+    "is_wardrop_equilibrium",
+    "is_weak_approximate_equilibrium",
+    "marginal_cost_network",
+    "normalise_demands",
+    "optimal_flow",
+    "potential",
+    "potential_gap",
+    "potential_of_edge_flows",
+    "potential_trace",
+    "price_of_anarchy",
+    "report",
+    "social_cost",
+    "support",
+    "total_demand",
+    "unsatisfied_volume",
+    "validate_network",
+    "virtual_potential_gain",
+    "weakly_unsatisfied_volume",
+]

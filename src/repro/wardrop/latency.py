@@ -1,0 +1,474 @@
+"""Latency function library for the Wardrop routing model.
+
+The paper assumes edge latency functions ``l_e : [0, 1] -> R>=0`` that are
+continuous, non-decreasing and have a finite first derivative on the whole
+range.  The central quantity used by the theory is ``beta``, an upper bound
+on the slope of every latency function in the network: the safe bulletin
+board update period of Lemma 4 is ``T* = 1 / (4 * D * alpha * beta)``.
+
+Every latency function in this module therefore exposes three operations:
+
+* ``value(x)``        -- the latency at flow ``x``,
+* ``derivative(x)``   -- the exact first derivative at flow ``x``,
+* ``max_slope(lo, hi)`` -- a tight upper bound on the derivative over an
+  interval, used to compute the network constant ``beta``.
+
+In addition ``integral(x)`` returns the exact value of
+``int_0^x l_e(u) du`` which is the edge contribution to the
+Beckmann--McGuire--Winsten potential; having it in closed form keeps the
+potential computation exact rather than quadrature based.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class LatencyFunction(ABC):
+    """A continuous, non-decreasing latency function on ``[0, 1]``.
+
+    Subclasses implement the latency value, its derivative and its
+    antiderivative in closed form.  All functions must be non-decreasing and
+    non-negative on the unit interval; :meth:`validate` spot-checks this and
+    is used by the instance validators.
+    """
+
+    @abstractmethod
+    def value(self, x: float) -> float:
+        """Return the latency induced by flow ``x``."""
+
+    @abstractmethod
+    def derivative(self, x: float) -> float:
+        """Return the first derivative of the latency at flow ``x``."""
+
+    @abstractmethod
+    def integral(self, x: float) -> float:
+        """Return ``int_0^x value(u) du`` (the potential contribution)."""
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        """Return an upper bound on the derivative over ``[lo, hi]``.
+
+        The default implementation assumes the derivative is non-decreasing
+        (true for all convex latency functions in this library) and returns
+        the derivative at the right endpoint.  Subclasses with non-convex
+        shapes override this.
+        """
+        return self.derivative(hi)
+
+    def __call__(self, x: float) -> float:
+        return self.value(x)
+
+    def validate(self, samples: int = 32) -> None:
+        """Raise ``ValueError`` if the function is negative or decreasing.
+
+        The check samples the unit interval; it is a guard against
+        misconfigured instances, not a proof.
+        """
+        previous = None
+        for i in range(samples + 1):
+            x = i / samples
+            y = self.value(x)
+            if y < -1e-12:
+                raise ValueError(f"{self!r} is negative at {x}: {y}")
+            if previous is not None and y < previous - 1e-9:
+                raise ValueError(f"{self!r} is decreasing near {x}")
+            previous = y
+
+    # Combinators ---------------------------------------------------------
+
+    def __add__(self, other: "LatencyFunction") -> "SumLatency":
+        return SumLatency([self, other])
+
+    def scaled(self, factor: float) -> "ScaledLatency":
+        """Return this latency function multiplied by ``factor >= 0``."""
+        return ScaledLatency(self, factor)
+
+    def shifted(self, offset: float) -> "SumLatency":
+        """Return this latency function plus a constant ``offset >= 0``."""
+        return SumLatency([self, ConstantLatency(offset)])
+
+
+class ConstantLatency(LatencyFunction):
+    """A flow-independent latency ``l(x) = c`` (e.g. propagation delay)."""
+
+    def __init__(self, constant: float):
+        if constant < 0:
+            raise ValueError("constant latency must be non-negative")
+        self.constant = float(constant)
+
+    def value(self, x: float) -> float:
+        return self.constant
+
+    def derivative(self, x: float) -> float:
+        return 0.0
+
+    def integral(self, x: float) -> float:
+        return self.constant * x
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.constant})"
+
+
+class LinearLatency(LatencyFunction):
+    """A homogeneous linear latency ``l(x) = a * x``."""
+
+    def __init__(self, coefficient: float = 1.0):
+        if coefficient < 0:
+            raise ValueError("linear coefficient must be non-negative")
+        self.coefficient = float(coefficient)
+
+    def value(self, x: float) -> float:
+        return self.coefficient * x
+
+    def derivative(self, x: float) -> float:
+        return self.coefficient
+
+    def integral(self, x: float) -> float:
+        return 0.5 * self.coefficient * x * x
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self.coefficient
+
+    def __repr__(self) -> str:
+        return f"LinearLatency({self.coefficient})"
+
+
+class AffineLatency(LatencyFunction):
+    """An affine latency ``l(x) = a * x + b`` with ``a, b >= 0``."""
+
+    def __init__(self, slope: float, intercept: float):
+        if slope < 0 or intercept < 0:
+            raise ValueError("affine latency requires non-negative slope and intercept")
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+
+    def value(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def derivative(self, x: float) -> float:
+        return self.slope
+
+    def integral(self, x: float) -> float:
+        return 0.5 * self.slope * x * x + self.intercept * x
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self.slope
+
+    def __repr__(self) -> str:
+        return f"AffineLatency(slope={self.slope}, intercept={self.intercept})"
+
+
+class PolynomialLatency(LatencyFunction):
+    """A polynomial latency ``l(x) = sum_d c_d * x**d`` with ``c_d >= 0``.
+
+    Non-negative coefficients guarantee monotonicity on ``[0, 1]``; this is
+    the standard class of latency functions used throughout the price of
+    anarchy literature (Roughgarden & Tardos).
+    """
+
+    def __init__(self, coefficients: Sequence[float]):
+        if not coefficients:
+            raise ValueError("polynomial latency requires at least one coefficient")
+        if any(c < 0 for c in coefficients):
+            raise ValueError("polynomial latency requires non-negative coefficients")
+        self.coefficients = [float(c) for c in coefficients]
+
+    def value(self, x: float) -> float:
+        total = 0.0
+        power = 1.0
+        for coefficient in self.coefficients:
+            total += coefficient * power
+            power *= x
+        return total
+
+    def derivative(self, x: float) -> float:
+        total = 0.0
+        power = 1.0
+        for degree, coefficient in enumerate(self.coefficients):
+            if degree >= 1:
+                total += degree * coefficient * power
+                power *= x
+            # degree 0 contributes nothing; power stays at 1 until degree 1.
+        return total
+
+    def integral(self, x: float) -> float:
+        total = 0.0
+        power = x
+        for degree, coefficient in enumerate(self.coefficients):
+            total += coefficient * power / (degree + 1)
+            power *= x
+        return total
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        # Non-negative coefficients make the derivative non-decreasing.
+        return self.derivative(hi)
+
+    def __repr__(self) -> str:
+        return f"PolynomialLatency({self.coefficients})"
+
+
+class MonomialLatency(LatencyFunction):
+    """A monomial latency ``l(x) = a * x**d`` (the Pigou-style nonlinearity)."""
+
+    def __init__(self, coefficient: float = 1.0, degree: int = 1):
+        if coefficient < 0:
+            raise ValueError("monomial coefficient must be non-negative")
+        if degree < 1:
+            raise ValueError("monomial degree must be at least 1")
+        self.coefficient = float(coefficient)
+        self.degree = int(degree)
+
+    def value(self, x: float) -> float:
+        return self.coefficient * x**self.degree
+
+    def derivative(self, x: float) -> float:
+        return self.coefficient * self.degree * x ** (self.degree - 1)
+
+    def integral(self, x: float) -> float:
+        return self.coefficient * x ** (self.degree + 1) / (self.degree + 1)
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self.derivative(hi)
+
+    def __repr__(self) -> str:
+        return f"MonomialLatency({self.coefficient}, degree={self.degree})"
+
+
+class BPRLatency(LatencyFunction):
+    """Bureau of Public Roads latency ``l(x) = t0 * (1 + a * (x / c)**d)``.
+
+    The standard road-traffic latency model; included because Wardrop's model
+    originates in road traffic and BPR functions are the canonical workload
+    for traffic-assignment solvers.
+    """
+
+    def __init__(self, free_flow_time: float, capacity: float, alpha: float = 0.15, beta: int = 4):
+        if free_flow_time < 0 or capacity <= 0 or alpha < 0 or beta < 1:
+            raise ValueError("invalid BPR parameters")
+        self.free_flow_time = float(free_flow_time)
+        self.capacity = float(capacity)
+        self.alpha = float(alpha)
+        self.beta = int(beta)
+
+    def value(self, x: float) -> float:
+        return self.free_flow_time * (1.0 + self.alpha * (x / self.capacity) ** self.beta)
+
+    def derivative(self, x: float) -> float:
+        return (
+            self.free_flow_time
+            * self.alpha
+            * self.beta
+            * x ** (self.beta - 1)
+            / self.capacity**self.beta
+        )
+
+    def integral(self, x: float) -> float:
+        return self.free_flow_time * (
+            x + self.alpha * x ** (self.beta + 1) / ((self.beta + 1) * self.capacity**self.beta)
+        )
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self.derivative(hi)
+
+    def __repr__(self) -> str:
+        return (
+            f"BPRLatency(t0={self.free_flow_time}, capacity={self.capacity}, "
+            f"alpha={self.alpha}, beta={self.beta})"
+        )
+
+
+class MM1Latency(LatencyFunction):
+    """A capped M/M/1 queueing delay ``l(x) = 1 / (c - x)`` for ``x <= x_cap``.
+
+    The raw M/M/1 delay has unbounded slope as ``x`` approaches the capacity
+    ``c``; the paper requires a finite slope bound, so the function is
+    linearised beyond ``x_cap < c`` (continuing with the tangent at the cap).
+    This mirrors how queueing delays are used in practice when a finite
+    Lipschitz constant is required.
+    """
+
+    def __init__(self, capacity: float, cap_fraction: float = 0.9):
+        if capacity <= 1.0:
+            raise ValueError("M/M/1 capacity must exceed the unit demand (c > 1)")
+        if not 0.0 < cap_fraction < 1.0:
+            raise ValueError("cap_fraction must lie strictly between 0 and 1")
+        self.capacity = float(capacity)
+        # Cap point expressed in absolute flow units, never beyond the unit demand.
+        self.cap = min(float(cap_fraction) * self.capacity, 1.0)
+        self._cap_value = 1.0 / (self.capacity - self.cap)
+        self._cap_slope = 1.0 / (self.capacity - self.cap) ** 2
+
+    def value(self, x: float) -> float:
+        if x <= self.cap:
+            return 1.0 / (self.capacity - x)
+        return self._cap_value + self._cap_slope * (x - self.cap)
+
+    def derivative(self, x: float) -> float:
+        if x <= self.cap:
+            return 1.0 / (self.capacity - x) ** 2
+        return self._cap_slope
+
+    def integral(self, x: float) -> float:
+        if x <= self.cap:
+            return math.log(self.capacity / (self.capacity - x))
+        head = math.log(self.capacity / (self.capacity - self.cap))
+        tail = x - self.cap
+        return head + self._cap_value * tail + 0.5 * self._cap_slope * tail * tail
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self.derivative(min(hi, self.cap)) if hi <= self.cap else self._cap_slope
+
+    def __repr__(self) -> str:
+        return f"MM1Latency(capacity={self.capacity}, cap={self.cap})"
+
+
+class PiecewiseLinearLatency(LatencyFunction):
+    """A continuous piecewise-linear latency defined by breakpoints.
+
+    ``breakpoints`` is a list of ``(x, y)`` pairs with strictly increasing
+    ``x`` covering ``[0, 1]`` and non-decreasing ``y``.  This class expresses
+    the paper's oscillation example ``l(x) = max{0, beta * (x - 1/2)}``
+    exactly (see :class:`ThresholdLatency`).
+    """
+
+    def __init__(self, breakpoints: Sequence[tuple]):
+        if len(breakpoints) < 2:
+            raise ValueError("need at least two breakpoints")
+        xs = [float(x) for x, _ in breakpoints]
+        ys = [float(y) for _, y in breakpoints]
+        if xs[0] > 1e-12 or xs[-1] < 1.0 - 1e-12:
+            raise ValueError("breakpoints must cover the interval [0, 1]")
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ValueError("breakpoint x-coordinates must be strictly increasing")
+        if any(b < a - 1e-12 for a, b in zip(ys, ys[1:])):
+            raise ValueError("breakpoint y-coordinates must be non-decreasing")
+        if ys[0] < 0:
+            raise ValueError("latency must be non-negative")
+        self.xs = xs
+        self.ys = ys
+
+    def _segment(self, x: float) -> int:
+        """Return the index ``i`` such that ``xs[i] <= x <= xs[i+1]``."""
+        if x <= self.xs[0]:
+            return 0
+        if x >= self.xs[-1]:
+            return len(self.xs) - 2
+        lo, hi = 0, len(self.xs) - 2
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.xs[mid] <= x:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _slope(self, i: int) -> float:
+        return (self.ys[i + 1] - self.ys[i]) / (self.xs[i + 1] - self.xs[i])
+
+    def value(self, x: float) -> float:
+        i = self._segment(x)
+        return self.ys[i] + self._slope(i) * (x - self.xs[i])
+
+    def derivative(self, x: float) -> float:
+        return self._slope(self._segment(x))
+
+    def integral(self, x: float) -> float:
+        total = 0.0
+        for i in range(len(self.xs) - 1):
+            left = self.xs[i]
+            right = min(x, self.xs[i + 1])
+            if right <= left:
+                break
+            y_left = self.ys[i]
+            y_right = y_left + self._slope(i) * (right - left)
+            total += 0.5 * (y_left + y_right) * (right - left)
+        return total
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        best = 0.0
+        for i in range(len(self.xs) - 1):
+            if self.xs[i + 1] <= lo or self.xs[i] >= hi:
+                continue
+            best = max(best, self._slope(i))
+        return best
+
+    def __repr__(self) -> str:
+        points = list(zip(self.xs, self.ys))
+        return f"PiecewiseLinearLatency({points})"
+
+
+class ThresholdLatency(PiecewiseLinearLatency):
+    """The paper's oscillation latency ``l(x) = max{0, beta * (x - threshold)}``.
+
+    Section 3.2 of the paper uses two parallel links with this latency (with
+    ``threshold = 1/2``): it is zero below the threshold and rises with slope
+    ``beta`` above it, so the Wardrop equilibrium has latency exactly zero.
+    """
+
+    def __init__(self, beta: float, threshold: float = 0.5):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must lie strictly inside (0, 1)")
+        self.beta = float(beta)
+        self.threshold = float(threshold)
+        super().__init__(
+            [(0.0, 0.0), (threshold, 0.0), (1.0, beta * (1.0 - threshold))]
+        )
+
+    def __repr__(self) -> str:
+        return f"ThresholdLatency(beta={self.beta}, threshold={self.threshold})"
+
+
+class ScaledLatency(LatencyFunction):
+    """A latency function multiplied by a non-negative scalar."""
+
+    def __init__(self, base: LatencyFunction, factor: float):
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        self.base = base
+        self.factor = float(factor)
+
+    def value(self, x: float) -> float:
+        return self.factor * self.base.value(x)
+
+    def derivative(self, x: float) -> float:
+        return self.factor * self.base.derivative(x)
+
+    def integral(self, x: float) -> float:
+        return self.factor * self.base.integral(x)
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self.factor * self.base.max_slope(lo, hi)
+
+    def __repr__(self) -> str:
+        return f"ScaledLatency({self.base!r}, {self.factor})"
+
+
+class SumLatency(LatencyFunction):
+    """The pointwise sum of several latency functions."""
+
+    def __init__(self, parts: Sequence[LatencyFunction]):
+        if not parts:
+            raise ValueError("sum latency requires at least one part")
+        self.parts = list(parts)
+
+    def value(self, x: float) -> float:
+        return sum(part.value(x) for part in self.parts)
+
+    def derivative(self, x: float) -> float:
+        return sum(part.derivative(x) for part in self.parts)
+
+    def integral(self, x: float) -> float:
+        return sum(part.integral(x) for part in self.parts)
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return sum(part.max_slope(lo, hi) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"SumLatency({self.parts!r})"

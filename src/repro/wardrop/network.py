@@ -1,0 +1,230 @@
+"""The Wardrop network: graph, latency functions and commodities.
+
+A :class:`WardropNetwork` bundles everything that defines an instance of the
+routing game of Section 2.1 of the paper:
+
+* a directed finite multigraph ``G = (V, E)`` (a ``networkx.MultiDiGraph``),
+* a latency function ``l_e`` per edge,
+* a list of commodities ``(s_i, t_i, r_i)`` with ``sum_i r_i = 1``,
+* the enumerated path sets ``P_i`` and the network constants used by the
+  theory: the maximum path length ``D``, the maximum latency-slope ``beta``
+  and the maximum path latency ``l_max``.
+
+The network object is immutable after construction and is shared by flow
+vectors, the potential, the equilibrium solvers and the rerouting simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .commodity import Commodity, demands_are_normalised, normalise_demands
+from .latency import LatencyFunction
+from .paths import EdgeKey, Path, PathSet, build_path_set
+
+LATENCY_ATTR = "latency"
+
+
+class WardropNetwork:
+    """An instance of the Wardrop routing game.
+
+    Parameters
+    ----------
+    graph:
+        A directed multigraph whose edges carry a ``latency`` attribute
+        holding a :class:`~repro.wardrop.latency.LatencyFunction`.
+    commodities:
+        The origin--destination pairs with their demands.
+    normalise:
+        If ``True`` (default) the demands are rescaled to sum to one, which
+        is the normalisation used throughout the paper.  If ``False`` the
+        demands must already be normalised.
+    max_paths:
+        Safety bound on the number of enumerated paths per commodity.
+    """
+
+    def __init__(
+        self,
+        graph: nx.MultiDiGraph,
+        commodities: Sequence[Commodity],
+        normalise: bool = True,
+        max_paths: int = 10_000,
+    ):
+        if not commodities:
+            raise ValueError("a Wardrop instance needs at least one commodity")
+        if normalise:
+            commodities = normalise_demands(commodities)
+        elif not demands_are_normalised(commodities):
+            raise ValueError("demands must sum to one (or pass normalise=True)")
+        self.graph = graph
+        self.commodities: List[Commodity] = list(commodities)
+        self._check_latencies()
+        self.paths: PathSet = build_path_set(graph, self.commodities, max_paths=max_paths)
+        self._edges: List[EdgeKey] = self.paths.edges()
+        self._edge_index: Dict[EdgeKey, int] = {edge: i for i, edge in enumerate(self._edges)}
+        # Incidence matrix A[e, p] = 1 if edge e lies on path p.  Dense is fine
+        # for the instance sizes this model is about.
+        self._incidence = np.zeros((len(self._edges), len(self.paths)))
+        for path_index, path in enumerate(self.paths):
+            for edge in path.edges:
+                self._incidence[self._edge_index[edge], path_index] = 1.0
+        self._demands = np.array(
+            [self.commodities[self.paths.commodity_of(p)].demand for p in range(len(self.paths))]
+        )
+
+    # Construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, Hashable, LatencyFunction]],
+        commodities: Sequence[Commodity],
+        normalise: bool = True,
+        max_paths: int = 10_000,
+    ) -> "WardropNetwork":
+        """Build a network from ``(u, v, latency)`` triples.
+
+        Multiple triples with the same endpoints create parallel edges, as in
+        the paper's two-link oscillation instance.
+        """
+        graph = nx.MultiDiGraph()
+        for u, v, latency in edges:
+            graph.add_edge(u, v, **{LATENCY_ATTR: latency})
+        return cls(graph, commodities, normalise=normalise, max_paths=max_paths)
+
+    def _check_latencies(self) -> None:
+        for u, v, key, data in self.graph.edges(keys=True, data=True):
+            latency = data.get(LATENCY_ATTR)
+            if not isinstance(latency, LatencyFunction):
+                raise ValueError(
+                    f"edge ({u!r}, {v!r}, {key!r}) has no LatencyFunction "
+                    f"in its '{LATENCY_ATTR}' attribute"
+                )
+
+    # Basic structure -------------------------------------------------------
+
+    @property
+    def edges(self) -> List[EdgeKey]:
+        """The edges that lie on at least one path, in canonical order."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    @property
+    def num_commodities(self) -> int:
+        return len(self.commodities)
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """The edge-path incidence matrix (edges x paths)."""
+        return self._incidence
+
+    @property
+    def path_demands(self) -> np.ndarray:
+        """Vector giving, per path, the demand of its commodity."""
+        return self._demands
+
+    def edge_index(self, edge: EdgeKey) -> int:
+        return self._edge_index[edge]
+
+    def latency_function(self, edge: EdgeKey) -> LatencyFunction:
+        """Return the latency function attached to ``edge``."""
+        u, v, key = edge
+        return self.graph[u][v][key][LATENCY_ATTR]
+
+    # Network constants used by the theory ----------------------------------
+
+    def max_path_length(self) -> int:
+        """Return ``D``, the maximum number of edges on any path."""
+        return self.paths.max_path_length()
+
+    def max_slope(self) -> float:
+        """Return ``beta``, the maximum slope of any edge latency on [0, 1]."""
+        return max(self.latency_function(edge).max_slope(0.0, 1.0) for edge in self._edges)
+
+    def max_latency(self) -> float:
+        """Return ``l_max``, an upper bound on the latency of any path.
+
+        Following the paper, ``l_max = max_P sum_{e in P} l_e(1)`` -- the
+        latency a path would have if the entire unit demand were routed over
+        every one of its edges.
+        """
+        best = 0.0
+        for path in self.paths:
+            best = max(best, sum(self.latency_function(edge).value(1.0) for edge in path.edges))
+        return best
+
+    # Latency evaluation -----------------------------------------------------
+
+    def edge_flows(self, path_flows: np.ndarray) -> np.ndarray:
+        """Aggregate a path-flow vector to edge flows ``f_e = sum_{P ∋ e} f_P``."""
+        return self._incidence @ np.asarray(path_flows, dtype=float)
+
+    def edge_latencies(self, edge_flows: np.ndarray) -> np.ndarray:
+        """Evaluate every edge latency at the given edge flows."""
+        return np.array(
+            [self.latency_function(edge).value(edge_flows[i]) for i, edge in enumerate(self._edges)]
+        )
+
+    def edge_latency_derivatives(self, edge_flows: np.ndarray) -> np.ndarray:
+        """Evaluate every edge latency derivative at the given edge flows."""
+        return np.array(
+            [
+                self.latency_function(edge).derivative(edge_flows[i])
+                for i, edge in enumerate(self._edges)
+            ]
+        )
+
+    def path_latencies(self, path_flows: np.ndarray) -> np.ndarray:
+        """Return ``l_P(f)`` for every path, additive along edges."""
+        edge_flows = self.edge_flows(path_flows)
+        edge_latencies = self.edge_latencies(edge_flows)
+        return self._incidence.T @ edge_latencies
+
+    def path_latencies_from_edge_latencies(self, edge_latencies: np.ndarray) -> np.ndarray:
+        """Return path latencies given precomputed edge latencies.
+
+        Used by the bulletin-board model, where path latencies must be
+        computed from the *posted* (stale) edge latencies rather than the
+        live ones.
+        """
+        return self._incidence.T @ np.asarray(edge_latencies, dtype=float)
+
+    # Descriptions ----------------------------------------------------------
+
+    def commodity_label(self, index: int) -> str:
+        return self.commodities[index].label(index)
+
+    def describe(self) -> str:
+        """Return a short multi-line description of the instance."""
+        lines = [
+            f"WardropNetwork: {self.graph.number_of_nodes()} nodes, "
+            f"{self.graph.number_of_edges()} edges, {self.num_commodities} commodities, "
+            f"{self.num_paths} paths",
+            f"  D (max path length) = {self.max_path_length()}",
+            f"  beta (max slope)    = {self.max_slope():.6g}",
+            f"  l_max               = {self.max_latency():.6g}",
+        ]
+        for index, commodity in enumerate(self.commodities):
+            paths = self.paths.commodity_paths(index)
+            lines.append(
+                f"  {commodity.label(index)}: {commodity.source!r} -> {commodity.sink!r}, "
+                f"demand {commodity.demand:.4g}, {len(paths)} paths"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"WardropNetwork(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, commodities={self.num_commodities}, "
+            f"paths={self.num_paths})"
+        )

@@ -1,0 +1,234 @@
+"""Path enumeration and path-level bookkeeping.
+
+The dynamics of the paper operate on *path flows*: ``f_P`` is the fraction of
+agents using path ``P``, and the strategy space of commodity ``i`` is the set
+``P_i`` of simple ``s_i``--``t_i`` paths.  This module provides
+
+* :class:`Path` -- an immutable sequence of edge keys with pretty printing,
+* enumeration of all simple paths of a commodity on a ``networkx`` multigraph,
+* :class:`PathSet` -- the indexed union ``P = union_i P_i`` used by flow
+  vectors, with fast lookup from path to commodity and to array positions.
+
+Enumeration is exponential in general; the instances used by the paper and by
+the reproduction are small enough (parallel links, Braess, grids) that
+explicit enumeration is the honest implementation of the model.  A
+``max_paths`` guard protects against accidentally exploding instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+import networkx as nx
+
+from .commodity import Commodity
+
+EdgeKey = Tuple[Hashable, Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A routing path represented as a tuple of multigraph edge keys.
+
+    Each edge key is a ``(u, v, key)`` triple as used by
+    ``networkx.MultiDiGraph``.  Paths are hashable so they can index
+    dictionaries and flow vectors.
+    """
+
+    edges: Tuple[EdgeKey, ...]
+    commodity_index: int
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("a path must contain at least one edge")
+        for (u, v, _), (u2, _v2, _) in zip(self.edges, self.edges[1:]):
+            if v != u2:
+                raise ValueError(f"path edges are not contiguous: {self.edges}")
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[EdgeKey]:
+        return iter(self.edges)
+
+    @property
+    def source(self) -> Hashable:
+        return self.edges[0][0]
+
+    @property
+    def sink(self) -> Hashable:
+        return self.edges[-1][1]
+
+    @property
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """Return the node sequence visited by the path."""
+        return (self.edges[0][0],) + tuple(edge[1] for edge in self.edges)
+
+    def describe(self) -> str:
+        """Return a compact human-readable description like ``s->a->t``."""
+        return "->".join(str(node) for node in self.nodes)
+
+    def __repr__(self) -> str:
+        return f"Path({self.describe()}, commodity={self.commodity_index})"
+
+
+def enumerate_commodity_paths(
+    graph: nx.MultiDiGraph,
+    commodity: Commodity,
+    commodity_index: int,
+    max_paths: int = 10_000,
+) -> List[Path]:
+    """Enumerate all simple source--sink paths of a commodity.
+
+    Parallel edges are treated as distinct paths (as the paper's multigraph
+    model requires: the two-link oscillation instance has two parallel edges
+    between the same node pair).
+
+    Raises ``ValueError`` if the commodity has no path at all or if the number
+    of paths exceeds ``max_paths``.
+    """
+    paths: List[Path] = []
+    if commodity.source not in graph or commodity.sink not in graph:
+        raise ValueError(
+            f"commodity endpoints {commodity.source!r}->{commodity.sink!r} missing from graph"
+        )
+    # networkx yields the same node path once per parallel edge on multigraphs;
+    # de-duplicate node paths first and expand parallel edges ourselves.
+    node_paths = []
+    seen_node_paths = set()
+    for node_path in nx.all_simple_paths(graph, commodity.source, commodity.sink):
+        key = tuple(node_path)
+        if key not in seen_node_paths:
+            seen_node_paths.add(key)
+            node_paths.append(key)
+    for node_path in node_paths:
+        for edge_path in _edge_paths(graph, node_path):
+            paths.append(Path(tuple(edge_path), commodity_index))
+            if len(paths) > max_paths:
+                raise ValueError(
+                    f"commodity {commodity_index} has more than {max_paths} paths; "
+                    "refusing to enumerate"
+                )
+    if not paths:
+        raise ValueError(
+            f"commodity {commodity_index} ({commodity.source!r}->{commodity.sink!r}) "
+            "has no path in the graph"
+        )
+    paths.sort(key=lambda path: (len(path), path.describe(), path.edges))
+    return paths
+
+
+def _edge_paths(
+    graph: nx.MultiDiGraph, node_path: Sequence[Hashable]
+) -> Iterator[List[EdgeKey]]:
+    """Expand a node path into every combination of parallel edges along it."""
+    hops: List[List[EdgeKey]] = []
+    for u, v in zip(node_path, node_path[1:]):
+        keys = list(graph[u][v].keys())
+        hops.append([(u, v, key) for key in sorted(keys, key=str)])
+    yield from _product_of(hops)
+
+
+def _product_of(hops: List[List[EdgeKey]]) -> Iterator[List[EdgeKey]]:
+    """Yield every selection of one edge per hop (cartesian product)."""
+    if not hops:
+        yield []
+        return
+    head, *tail = hops
+    for edge in head:
+        for rest in _product_of(tail):
+            yield [edge] + rest
+
+
+class PathSet:
+    """The indexed set of all paths ``P = union_i P_i`` of an instance.
+
+    The set fixes a global ordering of the paths so that flow vectors can be
+    stored as dense numpy arrays.  It also memoises the commodity partition
+    and the edge membership needed to aggregate path flows to edge flows.
+    """
+
+    def __init__(self, paths_by_commodity: Sequence[Sequence[Path]]):
+        self._by_commodity: List[List[Path]] = [list(paths) for paths in paths_by_commodity]
+        self._all: List[Path] = [path for paths in self._by_commodity for path in paths]
+        self._index: Dict[Path, int] = {path: i for i, path in enumerate(self._all)}
+        if len(self._index) != len(self._all):
+            raise ValueError("duplicate paths in path set")
+        self._commodity_slices: List[Tuple[int, int]] = []
+        start = 0
+        for paths in self._by_commodity:
+            self._commodity_slices.append((start, start + len(paths)))
+            start += len(paths)
+
+    # Basic container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._all)
+
+    def __getitem__(self, index: int) -> Path:
+        return self._all[index]
+
+    def __contains__(self, path: Path) -> bool:
+        return path in self._index
+
+    # Lookup ---------------------------------------------------------------
+
+    def index_of(self, path: Path) -> int:
+        """Return the global array index of ``path``."""
+        return self._index[path]
+
+    @property
+    def num_commodities(self) -> int:
+        return len(self._by_commodity)
+
+    def commodity_paths(self, commodity_index: int) -> List[Path]:
+        """Return the list of paths ``P_i`` of a commodity."""
+        return self._by_commodity[commodity_index]
+
+    def commodity_slice(self, commodity_index: int) -> Tuple[int, int]:
+        """Return the ``(start, stop)`` range of a commodity in the global order."""
+        return self._commodity_slices[commodity_index]
+
+    def commodity_indices(self, commodity_index: int) -> range:
+        start, stop = self._commodity_slices[commodity_index]
+        return range(start, stop)
+
+    def commodity_of(self, path_index: int) -> int:
+        """Return the commodity a global path index belongs to."""
+        return self._all[path_index].commodity_index
+
+    # Derived structure ---------------------------------------------------
+
+    def max_path_length(self) -> int:
+        """Return ``D``, the maximum number of edges on any path."""
+        return max(len(path) for path in self._all)
+
+    def edges(self) -> List[EdgeKey]:
+        """Return the sorted list of edges that appear on at least one path."""
+        seen = {edge for path in self._all for edge in path.edges}
+        return sorted(seen, key=str)
+
+    def paths_through(self, edge: EdgeKey) -> List[int]:
+        """Return the global indices of paths that use ``edge``."""
+        return [i for i, path in enumerate(self._all) if edge in path.edges]
+
+    def describe(self) -> List[str]:
+        """Return human-readable path descriptions in global order."""
+        return [path.describe() for path in self._all]
+
+
+def build_path_set(
+    graph: nx.MultiDiGraph,
+    commodities: Iterable[Commodity],
+    max_paths: int = 10_000,
+) -> PathSet:
+    """Enumerate the paths of every commodity and bundle them in a PathSet."""
+    per_commodity = [
+        enumerate_commodity_paths(graph, commodity, index, max_paths=max_paths)
+        for index, commodity in enumerate(commodities)
+    ]
+    return PathSet(per_commodity)

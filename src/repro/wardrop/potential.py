@@ -1,0 +1,149 @@
+"""The Beckmann--McGuire--Winsten potential and the paper's decomposition.
+
+The potential
+
+    Phi(f) = sum_{e in E} int_0^{f_e} l_e(u) du
+
+is minimised exactly at the Wardrop equilibria (Beckmann, McGuire and
+Winsten, 1956) and is the Lyapunov function behind every convergence result
+in the paper.  This module computes the potential exactly (using the
+closed-form antiderivatives of the latency library) and implements the
+quantities of Lemma 3 and Lemma 4:
+
+* the *virtual potential gain* of a phase,
+  ``V(f_hat, f) = sum_e l_e(f_hat) * (f_e - f_hat_e)`` (Eq. 8),
+* the *error terms* ``U_e = int_{f_hat_e}^{f_e} (l_e(u) - l_e(f_hat_e)) du``
+  (Eq. 7), and
+* the exact decomposition ``Phi(f) - Phi(f_hat) = sum_e U_e + V`` (Lemma 3).
+
+These are used by the tests and by the potential-decomposition benchmark to
+verify the central inequality ``Delta Phi <= V / 2`` of Lemma 4 empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .flow import FlowVector
+from .network import WardropNetwork
+
+
+def potential(flow: FlowVector) -> float:
+    """Return the Beckmann--McGuire--Winsten potential ``Phi(f)``."""
+    network = flow.network
+    edge_flows = flow.edge_flows()
+    return float(
+        sum(
+            network.latency_function(edge).integral(edge_flows[i])
+            for i, edge in enumerate(network.edges)
+        )
+    )
+
+
+def potential_of_edge_flows(network: WardropNetwork, edge_flows: np.ndarray) -> float:
+    """Return ``Phi`` evaluated directly on an edge-flow vector."""
+    return float(
+        sum(
+            network.latency_function(edge).integral(edge_flows[i])
+            for i, edge in enumerate(network.edges)
+        )
+    )
+
+
+def potential_gap(flow: FlowVector, optimum: float) -> float:
+    """Return ``Phi(f) - Phi*`` given the optimal potential value."""
+    return potential(flow) - optimum
+
+
+def virtual_potential_gain(stale: FlowVector, current: FlowVector) -> float:
+    """Return the virtual potential gain ``V(f_hat, f)`` of Eq. (8).
+
+    ``stale`` is the flow at the beginning of the phase (the one whose
+    latencies are posted on the bulletin board) and ``current`` the flow at
+    the end of the phase.  For any selfish policy the value is non-positive.
+    """
+    if stale.network is not current.network:
+        raise ValueError("flows must live on the same network")
+    stale_latencies = stale.edge_latencies()
+    delta = current.edge_flows() - stale.edge_flows()
+    return float(np.dot(stale_latencies, delta))
+
+
+def error_terms(stale: FlowVector, current: FlowVector) -> np.ndarray:
+    """Return the per-edge error terms ``U_e`` of Eq. (7).
+
+    ``U_e`` measures how much the edge latency moved away from its posted
+    value while the flow changed during the phase; it is the quantity the
+    proof of Lemma 4 charges against the virtual gain.
+    """
+    if stale.network is not current.network:
+        raise ValueError("flows must live on the same network")
+    network = stale.network
+    stale_edge = stale.edge_flows()
+    current_edge = current.edge_flows()
+    terms = np.zeros(network.num_edges)
+    for i, edge in enumerate(network.edges):
+        latency = network.latency_function(edge)
+        posted = latency.value(stale_edge[i])
+        # int_{fhat}^{f} (l(u) - posted) du, exact via the antiderivative.
+        terms[i] = (
+            latency.integral(current_edge[i])
+            - latency.integral(stale_edge[i])
+            - posted * (current_edge[i] - stale_edge[i])
+        )
+    return terms
+
+
+@dataclass(frozen=True)
+class PotentialDecomposition:
+    """The Lemma 3 decomposition of a phase's potential change.
+
+    Attributes
+    ----------
+    delta_phi:
+        The true potential change ``Phi(f) - Phi(f_hat)``.
+    virtual_gain:
+        The virtual potential gain ``V(f_hat, f)`` (non-positive for selfish
+        policies).
+    error_terms:
+        Per-edge error terms ``U_e``; their sum plus the virtual gain equals
+        ``delta_phi`` exactly (up to floating point).
+    """
+
+    delta_phi: float
+    virtual_gain: float
+    error_terms: np.ndarray
+
+    @property
+    def error_total(self) -> float:
+        return float(self.error_terms.sum())
+
+    @property
+    def identity_residual(self) -> float:
+        """Return ``delta_phi - (sum U_e + V)``; zero by Lemma 3."""
+        return self.delta_phi - (self.error_total + self.virtual_gain)
+
+    def satisfies_lemma4(self, slack: float = 1e-9) -> bool:
+        """Return ``True`` if ``delta_phi <= virtual_gain / 2 + slack``.
+
+        This is the conclusion of Lemma 4 under the safe update period; the
+        benchmark harness checks it phase by phase.
+        """
+        return self.delta_phi <= 0.5 * self.virtual_gain + slack
+
+
+def decompose_phase(stale: FlowVector, current: FlowVector) -> PotentialDecomposition:
+    """Compute the full Lemma 3 decomposition for one bulletin-board phase."""
+    return PotentialDecomposition(
+        delta_phi=potential(current) - potential(stale),
+        virtual_gain=virtual_potential_gain(stale, current),
+        error_terms=error_terms(stale, current),
+    )
+
+
+def potential_trace(flows: List[FlowVector]) -> np.ndarray:
+    """Return the potential evaluated along a trajectory of flow vectors."""
+    return np.array([potential(flow) for flow in flows])

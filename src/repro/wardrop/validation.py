@@ -1,0 +1,78 @@
+"""Validation helpers for Wardrop instances.
+
+The theory of the paper only applies under explicit assumptions on the
+instance: latency functions must be continuous, non-decreasing and have a
+bounded first derivative, the demands must be normalised and every commodity
+must actually be routable.  :func:`validate_network` packages these checks
+into a single call that examples and the simulator run up front so that
+violations surface as clear errors instead of silently wrong dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .commodity import demands_are_normalised
+from .network import WardropNetwork
+
+
+class InstanceValidationError(ValueError):
+    """Raised when a Wardrop instance violates the model assumptions."""
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating an instance.
+
+    ``issues`` lists human-readable descriptions of every violated
+    assumption; an empty list means the instance is valid.
+    """
+
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def raise_if_invalid(self) -> None:
+        if self.issues:
+            raise InstanceValidationError("; ".join(self.issues))
+
+
+def validate_network(network: WardropNetwork, samples: int = 32) -> ValidationReport:
+    """Check the model assumptions of Section 2.1 on a network.
+
+    The checks are:
+
+    * demands sum to one (the paper's normalisation),
+    * every commodity has at least one path (guaranteed at construction but
+      re-checked for defence in depth),
+    * every latency function is non-negative and non-decreasing on ``[0, 1]``
+      (spot-checked on a grid),
+    * every latency function has a finite slope bound, so the network
+      constant ``beta`` is finite and the safe update period is positive.
+    """
+    report = ValidationReport()
+    if not demands_are_normalised(network.commodities):
+        report.issues.append("commodity demands do not sum to one")
+    for index in range(network.num_commodities):
+        if not network.paths.commodity_paths(index):
+            report.issues.append(f"commodity {index} has no paths")
+    for edge in network.edges:
+        latency = network.latency_function(edge)
+        try:
+            latency.validate(samples=samples)
+        except ValueError as error:
+            report.issues.append(f"edge {edge}: {error}")
+        slope = latency.max_slope(0.0, 1.0)
+        if not slope < float("inf"):
+            report.issues.append(f"edge {edge}: latency slope is unbounded")
+    if network.max_latency() <= 0 and network.max_slope() <= 0:
+        report.issues.append("all latencies are identically zero; the game is degenerate")
+    return report
+
+
+def assert_valid(network: WardropNetwork) -> None:
+    """Validate a network and raise :class:`InstanceValidationError` on failure."""
+    validate_network(network).raise_if_invalid()

@@ -1,0 +1,122 @@
+"""Unit tests for convergence counting and trajectory metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    count_bad_phases,
+    final_distance_to,
+    final_equilibrium_violation,
+    final_potential_gap,
+    phase_potential_stats,
+    potential_decrease_rate,
+    potential_is_monotone,
+    time_to_approximate_equilibrium,
+    time_to_potential_gap,
+    trajectory_summary_row,
+)
+from repro.core import replicator_policy, simulate, simulate_best_response, uniform_policy
+from repro.instances import lopsided_flow, oscillation_initial_flow, two_link_network
+from repro.solvers import optimal_potential
+
+
+@pytest.fixture
+def converging_trajectory(two_links_steep):
+    policy = replicator_policy(two_links_steep)
+    period = policy.safe_update_period(two_links_steep)
+    return simulate(
+        two_links_steep,
+        policy,
+        update_period=period,
+        horizon=60.0,
+        initial_flow=lopsided_flow(two_links_steep, 0.95),
+    )
+
+
+@pytest.fixture
+def oscillating_trajectory():
+    network = two_link_network(beta=4.0)
+    return simulate_best_response(
+        network,
+        update_period=0.5,
+        horizon=30.0,
+        initial_flow=oscillation_initial_flow(network, 0.5),
+    )
+
+
+class TestBadPhaseCounting:
+    def test_converging_run_has_finitely_many_bad_phases(self, converging_trajectory):
+        summary = count_bad_phases(converging_trajectory, delta=0.1, epsilon=0.1)
+        assert summary.bad_phases < summary.total_phases
+        assert summary.last_bad_phase < summary.total_phases - 1
+
+    def test_oscillating_run_is_bad_forever(self, oscillating_trajectory):
+        summary = count_bad_phases(oscillating_trajectory, delta=0.1, epsilon=0.1)
+        # The 2T-cycle keeps more than half the agents delta-unsatisfied.
+        assert summary.bad_phases == summary.total_phases
+
+    def test_weak_count_never_exceeds_strong_count(self, converging_trajectory):
+        summary = count_bad_phases(converging_trajectory, delta=0.05, epsilon=0.2)
+        assert summary.weak_bad_phases <= summary.bad_phases
+
+    def test_invalid_arguments(self, converging_trajectory):
+        with pytest.raises(ValueError):
+            count_bad_phases(converging_trajectory, delta=0.0, epsilon=0.1)
+        with pytest.raises(ValueError):
+            count_bad_phases(converging_trajectory, delta=0.1, epsilon=0.0)
+
+
+class TestTimesAndMonotonicity:
+    def test_time_to_potential_gap(self, converging_trajectory, two_links_steep):
+        optimum = optimal_potential(two_links_steep)
+        first = time_to_potential_gap(converging_trajectory, optimum, gap=0.05)
+        assert first is not None
+        later = time_to_potential_gap(converging_trajectory, optimum, gap=0.005)
+        assert later is None or later >= first
+
+    def test_time_to_approximate_equilibrium(self, converging_trajectory):
+        t_strong = time_to_approximate_equilibrium(converging_trajectory, 0.1, 0.1)
+        t_weak = time_to_approximate_equilibrium(converging_trajectory, 0.1, 0.1, weak=True)
+        assert t_strong is not None
+        assert t_weak is not None
+        assert t_weak <= t_strong
+
+    def test_oscillating_run_never_reaches_equilibrium(self, oscillating_trajectory):
+        assert time_to_approximate_equilibrium(oscillating_trajectory, 0.1, 0.1) is None
+
+    def test_monotonicity_flags(self, converging_trajectory):
+        assert potential_is_monotone(converging_trajectory)
+        # Best response from a lopsided start overshoots the equilibrium, so
+        # the potential measured at phase ends goes back up at some point.
+        network = two_link_network(beta=4.0)
+        overshooting = simulate_best_response(
+            network, update_period=0.5, horizon=10.0,
+            initial_flow=lopsided_flow(network, 0.9),
+        )
+        assert not potential_is_monotone(overshooting)
+
+    def test_final_distance(self, converging_trajectory):
+        assert final_distance_to(converging_trajectory, [0.5, 0.5]) < 0.05
+
+
+class TestMetrics:
+    def test_lemma4_holds_on_converging_run(self, converging_trajectory):
+        stats = phase_potential_stats(converging_trajectory)
+        assert stats.phases == len(converging_trajectory.phases)
+        assert stats.max_identity_residual < 1e-8
+        assert stats.lemma4_violations == 0
+        assert stats.max_potential_increase == pytest.approx(0.0, abs=1e-10)
+
+    def test_final_gap_and_violation_small(self, converging_trajectory, two_links_steep):
+        optimum = optimal_potential(two_links_steep)
+        assert final_potential_gap(converging_trajectory, optimum) < 1e-2
+        assert final_equilibrium_violation(converging_trajectory) < 0.05
+
+    def test_potential_decrease_rate_sign(self, converging_trajectory, oscillating_trajectory):
+        assert potential_decrease_rate(converging_trajectory) > 0.0
+        assert abs(potential_decrease_rate(oscillating_trajectory)) < 1e-6
+
+    def test_summary_row_keys(self, converging_trajectory, two_links_steep):
+        row = trajectory_summary_row(converging_trajectory, optimal_potential(two_links_steep))
+        assert {"policy", "T", "phases", "final_gap", "final_violation", "avg_latency"} <= set(row)

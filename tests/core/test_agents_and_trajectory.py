@@ -1,0 +1,133 @@
+"""Unit tests for the finite-agent simulator and the Trajectory container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AgentBasedSimulator,
+    AgentSimulationConfig,
+    Trajectory,
+    replicator_policy,
+    simulate,
+    simulate_agents,
+    uniform_policy,
+)
+from repro.core.agents import _largest_remainder
+from repro.instances import lopsided_flow, two_link_network
+from repro.wardrop import FlowVector
+
+
+class TestLargestRemainder:
+    def test_exact_split(self):
+        assert list(_largest_remainder(np.array([0.5, 0.5]), 10)) == [5, 5]
+
+    def test_total_preserved(self):
+        counts = _largest_remainder(np.array([0.4, 0.35, 0.25]), 7)
+        assert counts.sum() == 7
+
+    def test_degenerate_weights(self):
+        counts = _largest_remainder(np.array([0.0, 0.0]), 4)
+        assert counts.sum() == 4
+
+
+class TestAgentSimulation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AgentSimulationConfig(num_agents=0)
+        with pytest.raises(ValueError):
+            AgentSimulationConfig(update_period=0.0)
+
+    def test_flow_conservation(self, two_links):
+        policy = uniform_policy(two_links)
+        trajectory = simulate_agents(
+            two_links, policy, num_agents=100, update_period=0.2, horizon=3.0, seed=0
+        )
+        for point in trajectory.points:
+            assert point.flow.values().sum() == pytest.approx(1.0, abs=1e-9)
+            assert np.all(point.flow.values() >= -1e-12)
+
+    def test_reproducible_with_seed(self, two_links):
+        policy = uniform_policy(two_links)
+        a = simulate_agents(two_links, policy, 100, 0.2, 2.0, seed=42)
+        b = simulate_agents(two_links, policy, 100, 0.2, 2.0, seed=42)
+        assert np.allclose(a.final_flow.values(), b.final_flow.values())
+
+    def test_moves_towards_equilibrium(self, two_links_steep):
+        policy = replicator_policy(two_links_steep)
+        period = policy.safe_update_period(two_links_steep)
+        start = lopsided_flow(two_links_steep, 0.95)
+        trajectory = simulate_agents(
+            two_links_steep, policy, num_agents=2000, update_period=period,
+            horizon=30.0, initial_flow=start, seed=3,
+        )
+        final_gap = abs(trajectory.final_flow.values()[0] - 0.5)
+        initial_gap = abs(start.values()[0] - 0.5)
+        assert final_gap < initial_gap / 2
+
+    def test_approaches_fluid_limit_as_population_grows(self, two_links_steep):
+        policy = replicator_policy(two_links_steep)
+        period = policy.safe_update_period(two_links_steep)
+        start = lopsided_flow(two_links_steep, 0.9)
+        horizon = 10.0
+        fluid = simulate(
+            two_links_steep, policy, update_period=period, horizon=horizon, initial_flow=start
+        )
+        errors = []
+        for n in [50, 2000]:
+            finite = simulate_agents(
+                two_links_steep, policy, num_agents=n, update_period=period,
+                horizon=horizon, initial_flow=start, seed=7,
+            )
+            errors.append(abs(finite.final_flow.values()[0] - fluid.final_flow.values()[0]))
+        assert errors[1] < errors[0]
+
+    def test_initial_assignment_matches_flow(self, two_links):
+        policy = uniform_policy(two_links)
+        config = AgentSimulationConfig(num_agents=10, update_period=0.5, horizon=0.1, seed=0)
+        simulator = AgentBasedSimulator(two_links, policy, config)
+        trajectory = simulator.run(FlowVector(two_links, [0.7, 0.3]))
+        assert trajectory.initial_flow.values() == pytest.approx([0.7, 0.3], abs=1e-9)
+
+
+class TestTrajectory:
+    def _trajectory(self, network) -> Trajectory:
+        policy = uniform_policy(network)
+        return simulate(
+            network, policy, update_period=0.1, horizon=1.0,
+            initial_flow=lopsided_flow(network, 0.9),
+        )
+
+    def test_basic_accessors(self, two_links):
+        trajectory = self._trajectory(two_links)
+        assert len(trajectory) == len(trajectory.points)
+        assert trajectory.initial_flow.values()[0] == pytest.approx(0.9)
+        assert trajectory.times[0] == 0.0
+        assert trajectory.flow_matrix().shape == (len(trajectory), two_links.num_paths)
+
+    def test_traces_have_consistent_length(self, two_links):
+        trajectory = self._trajectory(two_links)
+        n = len(trajectory)
+        assert len(trajectory.potential_trace()) == n
+        assert len(trajectory.average_latency_trace()) == n
+        assert len(trajectory.max_used_latency_trace()) == n
+        assert len(trajectory.unsatisfied_trace(0.1)) == n
+        assert len(trajectory.weakly_unsatisfied_trace(0.1)) == n
+
+    def test_sample_at_picks_nearest(self, two_links):
+        trajectory = self._trajectory(two_links)
+        point = trajectory.sample_at(0.52)
+        assert point.time == pytest.approx(0.5, abs=0.06)
+
+    def test_sample_at_empty_raises(self, two_links):
+        empty = Trajectory(network=two_links)
+        with pytest.raises(ValueError):
+            empty.sample_at(0.0)
+
+    def test_describe(self, two_links):
+        trajectory = self._trajectory(two_links)
+        text = trajectory.describe()
+        assert "Trajectory" in text
+        assert "phases" in text
+        assert Trajectory(network=two_links).describe() == "Trajectory(empty)"

@@ -1,0 +1,129 @@
+"""Unit tests for the fluid-limit rerouting simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReroutingSimulator,
+    SimulationConfig,
+    replicator_policy,
+    simulate,
+    uniform_policy,
+)
+from repro.instances import lopsided_flow, two_link_network
+from repro.wardrop import FlowVector, equilibrium_violation, potential
+
+
+class TestConfig:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(update_period=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(horizon=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(steps_per_phase=0)
+
+
+class TestBasicRuns:
+    def test_flow_stays_feasible_throughout(self, braess):
+        policy = uniform_policy(braess)
+        trajectory = simulate(
+            braess, policy, update_period=0.05, horizon=2.0, steps_per_phase=20
+        )
+        for point in trajectory.points:
+            point.flow.check_feasible(tolerance=1e-6)
+
+    def test_phase_records_chain_correctly(self, two_links):
+        policy = uniform_policy(two_links)
+        trajectory = simulate(two_links, policy, update_period=0.1, horizon=1.0)
+        assert len(trajectory.phases) == 10
+        for previous, current in zip(trajectory.phases, trajectory.phases[1:]):
+            assert current.start_time == pytest.approx(previous.end_time)
+            assert np.allclose(current.start_flow.values(), previous.end_flow.values())
+
+    def test_equilibrium_is_stationary(self, two_links):
+        policy = replicator_policy(two_links)
+        equilibrium = FlowVector(two_links, [0.5, 0.5])
+        trajectory = simulate(
+            two_links, policy, update_period=0.1, horizon=2.0, initial_flow=equilibrium
+        )
+        assert np.allclose(trajectory.final_flow.values(), [0.5, 0.5], atol=1e-9)
+
+    def test_stop_when_condition(self, two_links):
+        policy = replicator_policy(two_links)
+        trajectory = simulate(
+            two_links,
+            policy,
+            update_period=0.1,
+            horizon=100.0,
+            initial_flow=lopsided_flow(two_links, 0.9),
+            stop_when=lambda time, flow: equilibrium_violation(flow) < 1e-3,
+        )
+        assert trajectory.points[-1].time < 100.0
+
+    def test_wrong_network_initial_flow_rejected(self, two_links, braess):
+        policy = uniform_policy(two_links)
+        simulator = ReroutingSimulator(two_links, policy, SimulationConfig())
+        with pytest.raises(ValueError):
+            simulator.run(FlowVector.uniform(braess))
+
+
+class TestConvergenceBehaviour:
+    def test_uniform_policy_converges_fresh(self, two_links_steep):
+        policy = uniform_policy(two_links_steep)
+        trajectory = simulate(
+            two_links_steep,
+            policy,
+            update_period=0.1,
+            horizon=60.0,
+            initial_flow=lopsided_flow(two_links_steep, 0.95),
+            stale=False,
+        )
+        assert equilibrium_violation(trajectory.final_flow) < 1e-2
+
+    def test_replicator_converges_under_safe_staleness(self, two_links_steep):
+        policy = replicator_policy(two_links_steep)
+        safe_period = policy.safe_update_period(two_links_steep)
+        trajectory = simulate(
+            two_links_steep,
+            policy,
+            update_period=safe_period,
+            horizon=80.0,
+            initial_flow=lopsided_flow(two_links_steep, 0.95),
+        )
+        assert equilibrium_violation(trajectory.final_flow) < 1e-2
+
+    def test_potential_monotone_under_safe_staleness(self, braess):
+        policy = uniform_policy(braess)
+        safe_period = policy.safe_update_period(braess)
+        trajectory = simulate(
+            braess,
+            policy,
+            update_period=safe_period,
+            horizon=10.0,
+            initial_flow=FlowVector.single_path(braess, {0: 0}),
+        )
+        values = [potential(phase.end_flow) for phase in trajectory.phases]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_record_every_step_gives_denser_samples(self, two_links):
+        policy = uniform_policy(two_links)
+        coarse = ReroutingSimulator(
+            two_links, policy, SimulationConfig(update_period=0.2, horizon=1.0)
+        ).run()
+        dense = ReroutingSimulator(
+            two_links,
+            policy,
+            SimulationConfig(update_period=0.2, horizon=1.0, record_every_step=True),
+        ).run()
+        assert len(dense) > len(coarse)
+
+    def test_euler_and_rk4_agree_for_small_steps(self, two_links):
+        policy = uniform_policy(two_links)
+        start = lopsided_flow(two_links, 0.8)
+        kwargs = dict(update_period=0.1, horizon=2.0, initial_flow=start, steps_per_phase=200)
+        euler = simulate(two_links, policy, method="euler", **kwargs)
+        rk4 = simulate(two_links, policy, method="rk4", **kwargs)
+        assert np.allclose(euler.final_flow.values(), rk4.final_flow.values(), atol=1e-4)

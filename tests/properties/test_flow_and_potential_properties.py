@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for flows and the potential decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances import braess_network, identical_linear_links, two_link_network
+from repro.wardrop import FlowVector, decompose_phase, potential, virtual_potential_gain
+
+# Instances are built once; hypothesis only drives the numeric inputs.
+TWO_LINKS = two_link_network(beta=3.0)
+BRAESS = braess_network()
+PARALLEL = identical_linear_links(5)
+
+
+def braess_flow(weights):
+    """Normalise three non-negative weights into a feasible Braess flow."""
+    array = np.asarray(weights, dtype=float)
+    total = array.sum()
+    if total <= 0:
+        array = np.ones(3)
+        total = 3.0
+    return FlowVector(BRAESS, array / total)
+
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False),
+    min_size=3,
+    max_size=3,
+)
+
+
+class TestFlowProperties:
+    @given(first=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_two_link_flows_always_feasible(self, first):
+        flow = FlowVector(TWO_LINKS, [first, 1.0 - first])
+        flow.check_feasible()
+        assert flow.average_latency() >= 0.0
+        assert flow.max_used_latency() >= 0.0
+
+    @given(weights=weights_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_normalised_weights_are_feasible(self, weights):
+        flow = braess_flow(weights)
+        flow.check_feasible()
+        assert np.all(flow.edge_flows() >= -1e-12)
+        assert np.all(flow.edge_flows() <= 1.0 + 1e-9)
+
+    @given(weights=weights_strategy, scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_projection_is_idempotent_and_feasible(self, weights, scale):
+        raw = np.asarray(weights, dtype=float) * scale
+        noisy = FlowVector(BRAESS, raw, validate=False)
+        repaired = noisy.projected()
+        repaired.check_feasible()
+        again = repaired.projected()
+        assert np.allclose(repaired.values(), again.values(), atol=1e-12)
+
+    @given(weights_a=weights_strategy, weights_b=weights_strategy,
+           mix=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_blend_is_feasible_and_between(self, weights_a, weights_b, mix):
+        a = braess_flow(weights_a)
+        b = braess_flow(weights_b)
+        blend = a.blend(b, mix)
+        blend.check_feasible()
+        assert blend.distance_to(a) <= b.distance_to(a) + 1e-9
+
+    @given(weights_a=weights_strategy, weights_b=weights_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_distance_is_a_metric(self, weights_a, weights_b):
+        a = braess_flow(weights_a)
+        b = braess_flow(weights_b)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+        assert a.distance_to(a) == pytest.approx(0.0)
+        assert a.distance_to(b) >= 0.0
+
+
+class TestPotentialProperties:
+    @given(weights_a=weights_strategy, weights_b=weights_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_lemma3_identity_for_arbitrary_flow_pairs(self, weights_a, weights_b):
+        stale = braess_flow(weights_a)
+        current = braess_flow(weights_b)
+        decomposition = decompose_phase(stale, current)
+        assert decomposition.identity_residual == pytest.approx(0.0, abs=1e-9)
+
+    @given(weights_a=weights_strategy, weights_b=weights_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_error_terms_nonnegative(self, weights_a, weights_b):
+        stale = braess_flow(weights_a)
+        current = braess_flow(weights_b)
+        decomposition = decompose_phase(stale, current)
+        assert decomposition.error_total >= -1e-10
+
+    @given(weights=weights_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_potential_nonnegative_and_bounded(self, weights):
+        flow = braess_flow(weights)
+        value = potential(flow)
+        assert value >= -1e-12
+        assert value <= BRAESS.max_latency() + 1e-9
+
+    @given(weights=weights_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_virtual_gain_antisymmetric_first_order(self, weights):
+        # V(f, f) = 0 for every flow.
+        flow = braess_flow(weights)
+        assert virtual_potential_gain(flow, flow) == pytest.approx(0.0, abs=1e-12)
+
+    @given(first=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_two_link_potential_minimised_at_even_split(self, first):
+        flow = FlowVector(TWO_LINKS, [first, 1.0 - first])
+        equilibrium = FlowVector(TWO_LINKS, [0.5, 0.5])
+        assert potential(equilibrium) <= potential(flow) + 1e-12

@@ -1,0 +1,105 @@
+"""Unit tests for the Frank--Wolfe Wardrop-equilibrium solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instances import (
+    braess_network,
+    heterogeneous_affine_links,
+    identical_linear_links,
+    pigou_network,
+    two_link_network,
+)
+from repro.solvers import (
+    all_or_nothing_flow,
+    duality_gap,
+    optimal_potential,
+    solve_wardrop_equilibrium,
+)
+from repro.solvers.parallel_links import solve_parallel_links
+from repro.wardrop import FlowVector, is_wardrop_equilibrium, potential
+
+
+class TestAllOrNothing:
+    def test_routes_to_cheapest_path(self, pigou):
+        latencies = np.array([1.0, 0.2])
+        target = all_or_nothing_flow(pigou, latencies)
+        assert target[1] == pytest.approx(1.0)
+        assert target[0] == pytest.approx(0.0)
+
+    def test_respects_commodity_demands(self, layered):
+        flow = FlowVector.uniform(layered)
+        target = all_or_nothing_flow(layered, flow.path_latencies())
+        FlowVector(layered, target).check_feasible()
+
+
+class TestSolver:
+    def test_two_links_even_split(self):
+        network = two_link_network(beta=3.0)
+        result = solve_wardrop_equilibrium(network)
+        assert result.converged
+        assert result.flow.values() == pytest.approx([0.5, 0.5], abs=1e-4)
+
+    def test_pigou_equilibrium(self):
+        result = solve_wardrop_equilibrium(pigou_network(degree=1))
+        assert result.flow.values()[1] == pytest.approx(1.0, abs=1e-3)
+        assert is_wardrop_equilibrium(result.flow, tolerance=1e-3)
+
+    def test_braess_equilibrium_latency_two(self):
+        result = solve_wardrop_equilibrium(braess_network())
+        assert result.flow.max_used_latency() == pytest.approx(2.0, abs=1e-3)
+
+    def test_identical_links_split_evenly(self):
+        network = identical_linear_links(5)
+        result = solve_wardrop_equilibrium(network)
+        assert result.flow.values() == pytest.approx([0.2] * 5, abs=1e-4)
+
+    def test_duality_gap_certificate(self):
+        # Frank--Wolfe converges sublinearly, so ask for a realistic gap and
+        # check the certificate honestly reflects the final iterate.
+        network = heterogeneous_affine_links(6, seed=2)
+        result = solve_wardrop_equilibrium(network, tolerance=1e-9, max_iterations=4000)
+        assert result.duality_gap <= 1e-3
+        assert result.duality_gap == duality_gap(network, result.flow.values())
+        # Frank--Wolfe may leave crumbs of flow on slightly suboptimal paths;
+        # the volume of agents noticeably above the minimum must be tiny.
+        from repro.wardrop import unsatisfied_volume
+
+        assert unsatisfied_volume(result.flow, delta=0.05) < 0.01
+
+    def test_gap_history_is_recorded(self):
+        result = solve_wardrop_equilibrium(braess_network())
+        assert len(result.gap_history) == result.iterations
+        assert result.gap_history[-1] <= result.gap_history[0] + 1e-12
+
+    def test_warm_start(self):
+        network = pigou_network(degree=2)
+        warm = FlowVector(network, [0.0, 1.0])
+        result = solve_wardrop_equilibrium(network, initial=warm)
+        assert result.converged
+        assert result.iterations <= 3
+
+    def test_potential_at_solution_is_minimal(self):
+        network = heterogeneous_affine_links(4, seed=9)
+        result = solve_wardrop_equilibrium(network, tolerance=1e-10)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            candidate = FlowVector.random(network, rng)
+            assert result.potential_value <= potential(candidate) + 1e-6
+
+    def test_matches_exact_parallel_link_solver(self):
+        network = heterogeneous_affine_links(8, seed=4)
+        fw = solve_wardrop_equilibrium(network, tolerance=1e-10)
+        exact = solve_parallel_links(network)
+        assert np.allclose(fw.flow.values(), exact.values(), atol=1e-3)
+
+    def test_optimal_potential_helper(self):
+        network = two_link_network(beta=2.0)
+        assert optimal_potential(network) == pytest.approx(0.0, abs=1e-8)
+
+    def test_duality_gap_function(self, pigou):
+        equilibrium = solve_wardrop_equilibrium(pigou).flow
+        assert duality_gap(pigou, equilibrium.values()) <= 1e-6
+        assert duality_gap(pigou, np.array([1.0, 0.0])) > 0.0

@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "braess", "--policy", "uniform", "--period", "0.1", "--fresh"]
+        )
+        assert args.command == "simulate"
+        assert args.policy == "uniform"
+        assert args.period == "0.1"
+        assert args.fresh
+
+
+class TestCommands:
+    def test_list_instances(self, capsys):
+        assert main(["list-instances"]) == 0
+        output = capsys.readouterr().out
+        assert "braess" in output
+        assert "two-links" in output
+
+    def test_describe(self, capsys):
+        assert main(["describe", "braess"]) == 0
+        output = capsys.readouterr().out
+        assert "D (max path length)" in output
+        assert "safe update period" in output
+
+    def test_solve(self, capsys):
+        assert main(["solve", "pigou-linear"]) == 0
+        output = capsys.readouterr().out
+        assert "Wardrop equilibrium" in output
+        assert "duality gap" in output
+
+    def test_simulate_auto_period(self, capsys):
+        assert main(["simulate", "two-links", "--policy", "replicator",
+                     "--horizon", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "update period" in output
+        assert "final eq. violation" in output
+
+    def test_simulate_explicit_period_fresh(self, capsys):
+        assert main(["simulate", "pigou-linear", "--policy", "uniform",
+                     "--period", "0.1", "--horizon", "5", "--fresh"]) == 0
+        assert "fresh info" in capsys.readouterr().out
+
+    def test_simulate_rejects_auto_for_non_smooth_policy(self, capsys):
+        assert main(["simulate", "two-links", "--policy", "better-response",
+                     "--horizon", "5"]) == 2
+
+    def test_simulate_rejects_non_positive_period(self):
+        assert main(["simulate", "two-links", "--period", "0", "--horizon", "5"]) == 2
+
+    def test_oscillate(self, capsys):
+        assert main(["oscillate", "--beta", "2", "--period", "0.5", "--phases", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "predicted phase-start latency" in output
+        assert "measured" in output
+
+    def test_unknown_instance_raises(self):
+        with pytest.raises(KeyError):
+            main(["describe", "not-an-instance"])

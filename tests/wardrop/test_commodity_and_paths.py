@@ -1,0 +1,145 @@
+"""Unit tests for commodities, path enumeration and the PathSet index."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.wardrop.commodity import (
+    Commodity,
+    demands_are_normalised,
+    normalise_demands,
+    total_demand,
+)
+from repro.wardrop.latency import LinearLatency
+from repro.wardrop.network import LATENCY_ATTR
+from repro.wardrop.paths import Path, PathSet, build_path_set, enumerate_commodity_paths
+
+
+class TestCommodity:
+    def test_rejects_non_positive_demand(self):
+        with pytest.raises(ValueError):
+            Commodity("s", "t", 0.0)
+        with pytest.raises(ValueError):
+            Commodity("s", "t", -1.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Commodity("s", "s", 1.0)
+
+    def test_label_falls_back_to_index(self):
+        assert Commodity("s", "t", 1.0).label(3) == "commodity-3"
+        assert Commodity("s", "t", 1.0, name="web").label(3) == "web"
+
+    def test_normalise(self):
+        commodities = [Commodity("s", "t", 2.0), Commodity("a", "b", 6.0)]
+        normalised = normalise_demands(commodities)
+        assert total_demand(normalised) == pytest.approx(1.0)
+        assert normalised[0].demand == pytest.approx(0.25)
+        assert demands_are_normalised(normalised)
+
+    def test_normalise_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            normalise_demands([])
+
+
+def _simple_graph():
+    graph = nx.MultiDiGraph()
+    graph.add_edge("s", "a", **{LATENCY_ATTR: LinearLatency(1.0)})
+    graph.add_edge("a", "t", **{LATENCY_ATTR: LinearLatency(1.0)})
+    graph.add_edge("s", "t", **{LATENCY_ATTR: LinearLatency(1.0)})
+    return graph
+
+
+def _parallel_graph():
+    graph = nx.MultiDiGraph()
+    graph.add_edge("s", "t", **{LATENCY_ATTR: LinearLatency(1.0)})
+    graph.add_edge("s", "t", **{LATENCY_ATTR: LinearLatency(2.0)})
+    return graph
+
+
+class TestPath:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Path((), 0)
+
+    def test_rejects_discontiguous(self):
+        with pytest.raises(ValueError):
+            Path((("s", "a", 0), ("b", "t", 0)), 0)
+
+    def test_nodes_and_describe(self):
+        path = Path((("s", "a", 0), ("a", "t", 0)), 0)
+        assert path.nodes == ("s", "a", "t")
+        assert path.describe() == "s->a->t"
+        assert path.source == "s"
+        assert path.sink == "t"
+        assert len(path) == 2
+
+
+class TestEnumeration:
+    def test_enumerates_both_routes(self):
+        paths = enumerate_commodity_paths(_simple_graph(), Commodity("s", "t", 1.0), 0)
+        descriptions = {path.describe() for path in paths}
+        assert descriptions == {"s->t", "s->a->t"}
+
+    def test_parallel_edges_are_distinct_paths(self):
+        paths = enumerate_commodity_paths(_parallel_graph(), Commodity("s", "t", 1.0), 0)
+        assert len(paths) == 2
+        assert len({path.edges for path in paths}) == 2
+
+    def test_missing_endpoint_raises(self):
+        with pytest.raises(ValueError):
+            enumerate_commodity_paths(_simple_graph(), Commodity("s", "zzz", 1.0), 0)
+
+    def test_unroutable_commodity_raises(self):
+        graph = _simple_graph()
+        graph.add_node("island")
+        with pytest.raises(ValueError):
+            enumerate_commodity_paths(graph, Commodity("island", "t", 1.0), 0)
+
+    def test_max_paths_guard(self):
+        with pytest.raises(ValueError):
+            enumerate_commodity_paths(_simple_graph(), Commodity("s", "t", 1.0), 0, max_paths=1)
+
+    def test_paths_sorted_by_length(self):
+        paths = enumerate_commodity_paths(_simple_graph(), Commodity("s", "t", 1.0), 0)
+        assert len(paths[0]) <= len(paths[-1])
+
+
+class TestPathSet:
+    def _path_set(self):
+        graph = _simple_graph()
+        commodities = [Commodity("s", "t", 0.5), Commodity("s", "a", 0.5)]
+        return build_path_set(graph, commodities)
+
+    def test_global_indexing_roundtrip(self):
+        path_set = self._path_set()
+        for index, path in enumerate(path_set):
+            assert path_set.index_of(path) == index
+            assert path_set.commodity_of(index) == path.commodity_index
+
+    def test_commodity_slices_partition(self):
+        path_set = self._path_set()
+        covered = []
+        for i in range(path_set.num_commodities):
+            covered.extend(path_set.commodity_indices(i))
+        assert covered == list(range(len(path_set)))
+
+    def test_max_path_length(self):
+        assert self._path_set().max_path_length() == 2
+
+    def test_paths_through_edge(self):
+        path_set = self._path_set()
+        edge = ("s", "a", 0)
+        through = path_set.paths_through(edge)
+        for index in through:
+            assert edge in path_set[index].edges
+
+    def test_duplicate_paths_rejected(self):
+        path = Path((("s", "t", 0),), 0)
+        with pytest.raises(ValueError):
+            PathSet([[path, path]])
+
+    def test_contains(self):
+        path_set = self._path_set()
+        assert path_set[0] in path_set

@@ -1,0 +1,88 @@
+"""Unit tests for exact and approximate Wardrop-equilibrium predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instances import braess_equilibrium, pigou_equilibrium
+from repro.wardrop import (
+    FlowVector,
+    equilibrium_violation,
+    is_approximate_equilibrium,
+    is_wardrop_equilibrium,
+    is_weak_approximate_equilibrium,
+    report,
+    support,
+    unsatisfied_volume,
+    weakly_unsatisfied_volume,
+)
+
+
+class TestExactEquilibrium:
+    def test_two_link_even_split_is_equilibrium(self, two_links):
+        assert is_wardrop_equilibrium(FlowVector(two_links, [0.5, 0.5]))
+
+    def test_two_link_lopsided_is_not(self, two_links):
+        flow = FlowVector(two_links, [0.9, 0.1])
+        assert not is_wardrop_equilibrium(flow)
+        assert equilibrium_violation(flow) == pytest.approx(0.4)
+
+    def test_pigou_equilibrium(self, pigou):
+        assert is_wardrop_equilibrium(pigou_equilibrium(pigou))
+
+    def test_braess_equilibrium(self, braess):
+        assert is_wardrop_equilibrium(braess_equilibrium(braess))
+
+    def test_violation_zero_at_equilibrium(self, braess):
+        assert equilibrium_violation(braess_equilibrium(braess)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_unused_expensive_path_does_not_violate(self, pigou):
+        # All flow on the variable link (latency 1); the constant link also has
+        # latency 1, so even the all-variable flow is an equilibrium, whereas
+        # flow sitting on the constant link with the variable link empty is not.
+        all_variable = FlowVector(pigou, [0.0, 1.0])
+        assert is_wardrop_equilibrium(all_variable)
+        all_constant = FlowVector(pigou, [1.0, 0.0])
+        assert not is_wardrop_equilibrium(all_constant)
+
+
+class TestApproximateEquilibria:
+    def test_unsatisfied_volume_two_links(self, two_links):
+        flow = FlowVector(two_links, [0.8, 0.2])
+        # Link 1 latency 0.3, link 2 latency 0; 0.8 agents are 0.25-unsatisfied.
+        assert unsatisfied_volume(flow, delta=0.25) == pytest.approx(0.8)
+        assert unsatisfied_volume(flow, delta=0.35) == pytest.approx(0.0)
+
+    def test_weak_volume_is_smaller_or_equal(self, two_links):
+        flow = FlowVector(two_links, [0.8, 0.2])
+        for delta in [0.05, 0.1, 0.2, 0.3]:
+            assert weakly_unsatisfied_volume(flow, delta) <= unsatisfied_volume(flow, delta) + 1e-12
+
+    def test_every_equilibrium_is_weak_equilibrium(self, two_links):
+        flow = FlowVector(two_links, [0.8, 0.2])
+        delta, eps = 0.25, 0.5
+        if is_approximate_equilibrium(flow, delta, eps):
+            assert is_weak_approximate_equilibrium(flow, delta, eps)
+
+    def test_equilibrium_flow_is_approx_equilibrium_for_any_delta(self, two_links):
+        flow = FlowVector(two_links, [0.5, 0.5])
+        assert is_approximate_equilibrium(flow, delta=1e-6, eps=0.0)
+        assert is_weak_approximate_equilibrium(flow, delta=1e-6, eps=0.0)
+
+    def test_volume_monotone_in_delta(self, braess):
+        flow = FlowVector.uniform(braess)
+        volumes = [unsatisfied_volume(flow, d) for d in [0.01, 0.1, 0.5, 1.0]]
+        assert all(b <= a + 1e-12 for a, b in zip(volumes, volumes[1:]))
+
+
+class TestReporting:
+    def test_report_fields(self, two_links):
+        flow = FlowVector(two_links, [0.8, 0.2])
+        summary = report(flow, delta=0.1)
+        assert summary.violation == pytest.approx(0.3)
+        assert summary.unsatisfied == pytest.approx(0.8)
+        assert "violation" in summary.describe()
+
+    def test_support(self, pigou):
+        assert support(FlowVector(pigou, [0.0, 1.0])) == [1]
+        assert support(FlowVector(pigou, [0.5, 0.5])) == [0, 1]

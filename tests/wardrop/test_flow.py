@@ -1,0 +1,121 @@
+"""Unit tests for FlowVector: feasibility, derived latencies, constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wardrop import FlowVector
+
+
+class TestConstructors:
+    def test_uniform_is_feasible(self, braess):
+        flow = FlowVector.uniform(braess)
+        flow.check_feasible()
+        assert flow.values().sum() == pytest.approx(1.0)
+
+    def test_single_path(self, braess):
+        flow = FlowVector.single_path(braess, {0: 2})
+        values = flow.values()
+        assert values[2] == pytest.approx(1.0)
+        assert values.sum() == pytest.approx(1.0)
+
+    def test_single_path_rejects_bad_index(self, braess):
+        with pytest.raises(ValueError):
+            FlowVector.single_path(braess, {0: 99})
+
+    def test_from_dict(self, two_links):
+        path = two_links.paths[0]
+        flow = FlowVector.from_dict(two_links, {path: 1.0})
+        assert flow.flow_on(path) == pytest.approx(1.0)
+
+    def test_random_is_feasible(self, layered):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            FlowVector.random(layered, rng).check_feasible()
+
+    def test_wrong_length_rejected(self, two_links):
+        with pytest.raises(ValueError):
+            FlowVector(two_links, [1.0])
+
+
+class TestFeasibility:
+    def test_negative_flow_rejected(self, two_links):
+        with pytest.raises(ValueError):
+            FlowVector(two_links, [-0.1, 1.1])
+
+    def test_demand_mismatch_rejected(self, two_links):
+        with pytest.raises(ValueError):
+            FlowVector(two_links, [0.3, 0.3])
+
+    def test_is_feasible_boolean(self, two_links):
+        assert FlowVector(two_links, [0.5, 0.5]).is_feasible()
+        bad = FlowVector(two_links, [0.3, 0.3], validate=False)
+        assert not bad.is_feasible()
+
+    def test_projection_repairs_roundoff(self, two_links):
+        noisy = FlowVector(two_links, [0.500001, 0.499999 - 1e-9], validate=False)
+        repaired = noisy.projected()
+        repaired.check_feasible()
+
+    def test_projection_clips_negatives(self, two_links):
+        noisy = FlowVector(two_links, [-0.01, 1.01], validate=False)
+        repaired = noisy.projected()
+        assert np.all(repaired.values() >= 0.0)
+        repaired.check_feasible()
+
+
+class TestDerivedQuantities:
+    def test_two_link_latencies(self, two_links):
+        flow = FlowVector(two_links, [0.75, 0.25])
+        latencies = flow.path_latencies()
+        assert latencies[0] == pytest.approx(0.25)  # beta=1: max(0, 0.75-0.5)
+        assert latencies[1] == pytest.approx(0.0)
+
+    def test_average_latency_matches_dot_product(self, two_links):
+        flow = FlowVector(two_links, [0.75, 0.25])
+        expected = 0.75 * 0.25 + 0.25 * 0.0
+        assert flow.average_latency() == pytest.approx(expected)
+
+    def test_commodity_average_and_min(self, two_links):
+        flow = FlowVector(two_links, [0.75, 0.25])
+        assert flow.commodity_min_latency(0) == pytest.approx(0.0)
+        assert flow.commodity_average_latency(0) == pytest.approx(flow.average_latency())
+
+    def test_max_used_latency_ignores_unused_paths(self, pigou):
+        # All flow on the constant-latency link; the variable link is unused.
+        flow = FlowVector(pigou, [1.0, 0.0])
+        assert flow.max_used_latency() == pytest.approx(1.0)
+
+    def test_edge_flows_match_incidence(self, braess):
+        flow = FlowVector.uniform(braess)
+        assert np.allclose(flow.edge_flows(), braess.edge_flows(flow.values()))
+
+
+class TestArithmetic:
+    def test_blend_stays_feasible(self, braess):
+        a = FlowVector.uniform(braess)
+        b = FlowVector.single_path(braess, {0: 0})
+        mix = a.blend(b, 0.3)
+        mix.check_feasible()
+        assert np.allclose(mix.values(), 0.7 * a.values() + 0.3 * b.values())
+
+    def test_blend_rejects_bad_weight(self, braess):
+        a = FlowVector.uniform(braess)
+        with pytest.raises(ValueError):
+            a.blend(a, 1.5)
+
+    def test_blend_rejects_other_network(self, braess, two_links):
+        with pytest.raises(ValueError):
+            FlowVector.uniform(braess).blend(FlowVector.uniform(two_links), 0.5)
+
+    def test_distance(self, two_links):
+        a = FlowVector(two_links, [1.0, 0.0])
+        b = FlowVector(two_links, [0.0, 1.0])
+        assert a.distance_to(b) == pytest.approx(2.0)
+        assert a.distance_to(a) == pytest.approx(0.0)
+
+    def test_with_values(self, two_links):
+        flow = FlowVector.uniform(two_links)
+        other = flow.with_values(np.array([0.25, 0.75]))
+        assert other[0] == pytest.approx(0.25)

@@ -1,0 +1,232 @@
+"""Unit tests for the latency-function library."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.wardrop.latency import (
+    AffineLatency,
+    BPRLatency,
+    ConstantLatency,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PiecewiseLinearLatency,
+    PolynomialLatency,
+    ScaledLatency,
+    SumLatency,
+    ThresholdLatency,
+)
+
+
+def numerical_derivative(latency, x, step=1e-6):
+    lo = max(0.0, x - step)
+    hi = min(1.0, x + step)
+    return (latency.value(hi) - latency.value(lo)) / (hi - lo)
+
+
+def numerical_integral(latency, x, steps=2000):
+    total = 0.0
+    for i in range(steps):
+        u = x * (i + 0.5) / steps
+        total += latency.value(u)
+    return total * x / steps
+
+
+ALL_FUNCTIONS = [
+    ConstantLatency(0.7),
+    LinearLatency(2.0),
+    AffineLatency(1.5, 0.25),
+    PolynomialLatency([0.1, 0.5, 2.0]),
+    MonomialLatency(3.0, 3),
+    BPRLatency(1.0, 0.8),
+    MM1Latency(2.0),
+    PiecewiseLinearLatency([(0.0, 0.0), (0.4, 0.2), (1.0, 1.4)]),
+    ThresholdLatency(4.0),
+    ScaledLatency(LinearLatency(1.0), 3.0),
+    SumLatency([ConstantLatency(0.2), LinearLatency(1.0)]),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("latency", ALL_FUNCTIONS, ids=lambda f: type(f).__name__)
+    def test_non_negative_and_monotone(self, latency):
+        latency.validate(samples=64)
+
+    @pytest.mark.parametrize("latency", ALL_FUNCTIONS, ids=lambda f: type(f).__name__)
+    @pytest.mark.parametrize("x", [0.0, 0.1, 0.35, 0.5, 0.77, 1.0])
+    def test_derivative_matches_finite_difference(self, latency, x):
+        # Skip kink points of piecewise functions where the derivative jumps.
+        if isinstance(latency, PiecewiseLinearLatency) and any(
+            abs(x - bp) < 1e-3 for bp in latency.xs
+        ):
+            pytest.skip("finite difference is ill-defined at a breakpoint")
+        assert latency.derivative(x) == pytest.approx(
+            numerical_derivative(latency, x), rel=1e-3, abs=1e-3
+        )
+
+    @pytest.mark.parametrize("latency", ALL_FUNCTIONS, ids=lambda f: type(f).__name__)
+    @pytest.mark.parametrize("x", [0.0, 0.25, 0.5, 0.9, 1.0])
+    def test_integral_matches_quadrature(self, latency, x):
+        assert latency.integral(x) == pytest.approx(
+            numerical_integral(latency, x), rel=1e-3, abs=1e-4
+        )
+
+    @pytest.mark.parametrize("latency", ALL_FUNCTIONS, ids=lambda f: type(f).__name__)
+    def test_max_slope_dominates_samples(self, latency):
+        bound = latency.max_slope(0.0, 1.0)
+        for i in range(33):
+            x = i / 32
+            assert latency.derivative(x) <= bound + 1e-9
+
+    @pytest.mark.parametrize("latency", ALL_FUNCTIONS, ids=lambda f: type(f).__name__)
+    def test_call_is_value(self, latency):
+        assert latency(0.3) == latency.value(0.3)
+
+
+class TestConstant:
+    def test_values(self):
+        latency = ConstantLatency(2.5)
+        assert latency.value(0.0) == 2.5
+        assert latency.value(1.0) == 2.5
+        assert latency.derivative(0.5) == 0.0
+        assert latency.integral(0.4) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestLinearAndAffine:
+    def test_linear_values(self):
+        latency = LinearLatency(3.0)
+        assert latency.value(0.5) == 1.5
+        assert latency.integral(1.0) == pytest.approx(1.5)
+
+    def test_affine_values(self):
+        latency = AffineLatency(2.0, 1.0)
+        assert latency.value(0.5) == 2.0
+        assert latency.max_slope() == 2.0
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            LinearLatency(-1.0)
+        with pytest.raises(ValueError):
+            AffineLatency(1.0, -0.1)
+
+
+class TestPolynomial:
+    def test_matches_explicit_evaluation(self):
+        latency = PolynomialLatency([1.0, 2.0, 3.0])
+        x = 0.4
+        assert latency.value(x) == pytest.approx(1.0 + 2.0 * x + 3.0 * x * x)
+        assert latency.derivative(x) == pytest.approx(2.0 + 6.0 * x)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            PolynomialLatency([])
+        with pytest.raises(ValueError):
+            PolynomialLatency([1.0, -1.0])
+
+
+class TestMonomial:
+    def test_pigou_style(self):
+        latency = MonomialLatency(1.0, 4)
+        assert latency.value(1.0) == 1.0
+        assert latency.value(0.5) == pytest.approx(0.0625)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            MonomialLatency(1.0, 0)
+
+
+class TestBPR:
+    def test_free_flow_at_zero(self):
+        latency = BPRLatency(2.0, 1.0, alpha=0.15, beta=4)
+        assert latency.value(0.0) == 2.0
+        assert latency.value(1.0) == pytest.approx(2.0 * 1.15)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            BPRLatency(1.0, 0.0)
+
+
+class TestMM1:
+    def test_queueing_shape_below_cap(self):
+        latency = MM1Latency(2.0, cap_fraction=0.9)
+        assert latency.value(0.0) == pytest.approx(0.5)
+        assert latency.value(1.0) == pytest.approx(1.0)
+
+    def test_linearised_beyond_cap_is_continuous(self):
+        latency = MM1Latency(1.25, cap_fraction=0.6)
+        cap = latency.cap
+        below = latency.value(cap - 1e-9)
+        above = latency.value(cap + 1e-9)
+        assert above == pytest.approx(below, abs=1e-6)
+
+    def test_finite_slope_bound(self):
+        latency = MM1Latency(1.1, cap_fraction=0.5)
+        assert latency.max_slope(0.0, 1.0) < float("inf")
+
+    def test_rejects_capacity_below_demand(self):
+        with pytest.raises(ValueError):
+            MM1Latency(0.9)
+
+
+class TestPiecewiseLinear:
+    def test_segment_lookup(self):
+        latency = PiecewiseLinearLatency([(0.0, 0.0), (0.5, 0.0), (1.0, 2.0)])
+        assert latency.value(0.25) == 0.0
+        assert latency.value(0.75) == pytest.approx(1.0)
+        assert latency.derivative(0.25) == 0.0
+        assert latency.derivative(0.75) == pytest.approx(4.0)
+
+    def test_max_slope_over_subinterval(self):
+        latency = PiecewiseLinearLatency([(0.0, 0.0), (0.5, 0.0), (1.0, 2.0)])
+        assert latency.max_slope(0.0, 0.4) == 0.0
+        assert latency.max_slope(0.0, 1.0) == pytest.approx(4.0)
+
+    def test_rejects_uncovered_interval(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearLatency([(0.1, 0.0), (1.0, 1.0)])
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearLatency([(0.0, 1.0), (1.0, 0.0)])
+
+
+class TestThreshold:
+    def test_matches_paper_form(self):
+        beta = 4.0
+        latency = ThresholdLatency(beta=beta, threshold=0.5)
+        for x in [0.0, 0.3, 0.5, 0.6, 0.75, 1.0]:
+            assert latency.value(x) == pytest.approx(max(0.0, beta * (x - 0.5)))
+
+    def test_max_slope_is_beta(self):
+        assert ThresholdLatency(beta=7.0).max_slope() == pytest.approx(7.0)
+
+    def test_rejects_threshold_outside_interval(self):
+        with pytest.raises(ValueError):
+            ThresholdLatency(1.0, threshold=1.5)
+
+
+class TestCombinators:
+    def test_scaled(self):
+        latency = LinearLatency(2.0).scaled(0.5)
+        assert latency.value(1.0) == pytest.approx(1.0)
+        assert latency.max_slope() == pytest.approx(1.0)
+
+    def test_shifted(self):
+        latency = LinearLatency(1.0).shifted(0.3)
+        assert latency.value(0.0) == pytest.approx(0.3)
+
+    def test_addition(self):
+        latency = LinearLatency(1.0) + ConstantLatency(1.0)
+        assert latency.value(0.5) == pytest.approx(1.5)
+        assert latency.integral(1.0) == pytest.approx(1.5)
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            LinearLatency(1.0).scaled(-2.0)

@@ -1,0 +1,108 @@
+"""Unit tests for WardropNetwork: structure, constants and latency evaluation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.instances import braess_network, two_link_network
+from repro.wardrop import Commodity, LinearLatency, ThresholdLatency, WardropNetwork
+from repro.wardrop.network import LATENCY_ATTR
+
+
+class TestConstruction:
+    def test_from_edges_parallel_links(self, two_links):
+        assert two_links.num_paths == 2
+        assert two_links.num_edges == 2
+        assert two_links.num_commodities == 1
+
+    def test_requires_commodities(self):
+        graph = nx.MultiDiGraph()
+        graph.add_edge("s", "t", **{LATENCY_ATTR: LinearLatency(1.0)})
+        with pytest.raises(ValueError):
+            WardropNetwork(graph, [])
+
+    def test_requires_latency_attribute(self):
+        graph = nx.MultiDiGraph()
+        graph.add_edge("s", "t")
+        with pytest.raises(ValueError):
+            WardropNetwork(graph, [Commodity("s", "t", 1.0)])
+
+    def test_demand_normalisation(self):
+        network = WardropNetwork.from_edges(
+            [("s", "t", LinearLatency(1.0))],
+            [Commodity("s", "t", 5.0)],
+            normalise=True,
+        )
+        assert network.commodities[0].demand == pytest.approx(1.0)
+
+    def test_unnormalised_demands_rejected(self):
+        with pytest.raises(ValueError):
+            WardropNetwork.from_edges(
+                [("s", "t", LinearLatency(1.0))],
+                [Commodity("s", "t", 5.0)],
+                normalise=False,
+            )
+
+
+class TestConstants:
+    def test_two_link_constants(self):
+        network = two_link_network(beta=4.0)
+        assert network.max_path_length() == 1
+        assert network.max_slope() == pytest.approx(4.0)
+        # l_max = max latency at full load = beta * (1 - 1/2) = 2.
+        assert network.max_latency() == pytest.approx(2.0)
+
+    def test_braess_constants(self, braess):
+        assert braess.max_path_length() == 3
+        assert braess.max_slope() == pytest.approx(1.0)
+        # Longest path s->a->b->t at full load: 1 + 0 + 1 = 2.
+        assert braess.max_latency() == pytest.approx(2.0)
+
+    def test_grid_path_length(self, small_grid):
+        # Corner-to-corner paths in a 3x3 right/down grid have 4 edges.
+        assert small_grid.max_path_length() == 4
+
+
+class TestLatencyEvaluation:
+    def test_edge_flow_aggregation(self, braess):
+        flows = np.zeros(braess.num_paths)
+        descriptions = braess.paths.describe()
+        flows[descriptions.index("s->a->b->t")] = 1.0
+        edge_flows = braess.edge_flows(flows)
+        index_sa = braess.edge_index(("s", "a", 0))
+        index_bt = braess.edge_index(("b", "t", 0))
+        assert edge_flows[index_sa] == pytest.approx(1.0)
+        assert edge_flows[index_bt] == pytest.approx(1.0)
+
+    def test_path_latency_additive(self, braess):
+        flows = np.zeros(braess.num_paths)
+        descriptions = braess.paths.describe()
+        flows[descriptions.index("s->a->b->t")] = 1.0
+        latencies = braess.path_latencies(flows)
+        # s->a->b->t carries x(=1) + 0 + x(=1) = 2.
+        assert latencies[descriptions.index("s->a->b->t")] == pytest.approx(2.0)
+        # s->a->t sees x(=1) + 1 = 2 as well.
+        assert latencies[descriptions.index("s->a->t")] == pytest.approx(2.0)
+
+    def test_path_latencies_from_posted_edge_latencies(self, braess):
+        flows = np.full(braess.num_paths, 1.0 / braess.num_paths)
+        edge_latencies = braess.edge_latencies(braess.edge_flows(flows))
+        via_posted = braess.path_latencies_from_edge_latencies(edge_latencies)
+        direct = braess.path_latencies(flows)
+        assert np.allclose(via_posted, direct)
+
+    def test_incidence_matrix_shape(self, braess):
+        assert braess.incidence.shape == (braess.num_edges, braess.num_paths)
+        assert set(np.unique(braess.incidence)) <= {0.0, 1.0}
+
+
+class TestDescriptions:
+    def test_describe_mentions_constants(self, two_links):
+        text = two_links.describe()
+        assert "D (max path length)" in text
+        assert "beta" in text
+
+    def test_repr(self, two_links):
+        assert "WardropNetwork" in repr(two_links)

@@ -1,0 +1,61 @@
+"""Unit tests for instance validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instances import braess_network, two_link_network
+from repro.wardrop import (
+    Commodity,
+    ConstantLatency,
+    InstanceValidationError,
+    LatencyFunction,
+    WardropNetwork,
+    assert_valid,
+    validate_network,
+)
+
+
+class DecreasingLatency(LatencyFunction):
+    """A deliberately invalid (decreasing) latency used to trigger validation."""
+
+    def value(self, x):
+        return 1.0 - 0.5 * x
+
+    def derivative(self, x):
+        return -0.5
+
+    def integral(self, x):
+        return x - 0.25 * x * x
+
+
+class TestValidation:
+    def test_good_instances_pass(self):
+        for network in [two_link_network(2.0), braess_network()]:
+            report = validate_network(network)
+            assert report.ok
+            assert_valid(network)
+
+    def test_decreasing_latency_flagged(self):
+        network = WardropNetwork.from_edges(
+            [("s", "t", DecreasingLatency()), ("s", "t", ConstantLatency(1.0))],
+            [Commodity("s", "t", 1.0)],
+        )
+        report = validate_network(network)
+        assert not report.ok
+        assert any("decreasing" in issue for issue in report.issues)
+        with pytest.raises(InstanceValidationError):
+            report.raise_if_invalid()
+
+    def test_degenerate_all_zero_latency_flagged(self):
+        network = WardropNetwork.from_edges(
+            [("s", "t", ConstantLatency(0.0)), ("s", "t", ConstantLatency(0.0))],
+            [Commodity("s", "t", 1.0)],
+        )
+        report = validate_network(network)
+        assert not report.ok
+
+    def test_report_ok_property(self):
+        report = validate_network(two_link_network())
+        assert report.ok
+        report.raise_if_invalid()  # must not raise
