@@ -12,7 +12,11 @@ units (the bulletin-board model).  This package implements the full system:
   rerouting policies, alpha-smoothness, the bulletin board, fluid-limit and
   finite-agent simulators, best-response baseline and closed-form bounds,
 * :mod:`repro.analysis` -- convergence counting, oscillation detection,
-  parameter sweeps and table rendering for the benchmark harness.
+  parameter sweeps and table rendering for the benchmark harness,
+* :mod:`repro.batch` -- the batched vectorized simulation engine: whole
+  ensembles of replicas integrated as one stacked array,
+* :mod:`repro.experiments` -- experiment plans with deterministic seeds and
+  the batch/pool/serial experiment runner behind the sweeps.
 
 Quickstart::
 
@@ -27,8 +31,17 @@ Quickstart::
     print(trajectory.describe())
 """
 
-from . import analysis, core, instances, solvers, wardrop
+from . import analysis, batch, core, experiments, instances, solvers, wardrop
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["analysis", "core", "instances", "solvers", "wardrop", "__version__"]
+__all__ = [
+    "analysis",
+    "batch",
+    "core",
+    "experiments",
+    "instances",
+    "solvers",
+    "wardrop",
+    "__version__",
+]

@@ -5,21 +5,30 @@ varying one or two parameters (update period, smoothness, number of links,
 approximation target delta, population size ...) and collect one summary row
 per setting.  The harness here removes the boilerplate so each benchmark
 focuses on what it varies and what it measures.
+
+Execution is delegated to :mod:`repro.experiments.runner`: cases that share
+a network and policy are fused into one vectorized
+:class:`~repro.batch.BatchSimulator` integration, heterogeneous cases can be
+fanned out over a process pool, and ``engine="serial"`` recovers the
+original one-at-a-time loop.
 """
 
 from __future__ import annotations
 
+import csv
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.policy import ReroutingPolicy
-from ..core.simulator import simulate
 from ..core.trajectory import Trajectory
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from .convergence import ConvergenceSummary, count_bad_phases
 
-RowBuilder = Callable[[Trajectory], Mapping[str, object]]
+# A row builder may return one row or a list of rows (e.g. one per target
+# delta evaluated on the same trajectory).
+RowBuilder = Callable[[Trajectory], Union[Mapping[str, object], Sequence[Mapping[str, object]]]]
 
 
 @dataclass
@@ -38,6 +47,7 @@ class SweepCase:
     initial_flow: Optional[FlowVector] = None
     stale: bool = True
     steps_per_phase: int = 50
+    method: str = "rk4"
 
 
 @dataclass
@@ -55,24 +65,49 @@ class SweepResult:
     def __len__(self) -> int:
         return len(self.rows)
 
+    # Persistence ------------------------------------------------------------
 
-def run_sweep(cases: Iterable[SweepCase], row_builder: RowBuilder) -> SweepResult:
-    """Run every case and collect ``parameters | row_builder(trajectory)`` rows."""
-    result = SweepResult()
-    for case in cases:
-        trajectory = simulate(
-            case.network,
-            case.policy,
-            update_period=case.update_period,
-            horizon=case.horizon,
-            initial_flow=case.initial_flow,
-            stale=case.stale,
-            steps_per_phase=case.steps_per_phase,
-        )
-        row: Dict[str, object] = dict(case.parameters)
-        row.update(row_builder(trajectory))
-        result.append(row)
-    return result
+    def fieldnames(self) -> List[str]:
+        """Return the union of row keys in first-seen order."""
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def to_csv(self, path) -> None:
+        """Write the rows as a CSV file with a header line."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.fieldnames())
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    def to_jsonl(self, path) -> None:
+        """Write the rows as JSON Lines (one JSON object per row)."""
+        with open(path, "w") as handle:
+            for row in self.rows:
+                handle.write(json.dumps(row, default=str) + "\n")
+
+
+def run_sweep(
+    cases: Iterable[SweepCase],
+    row_builder: RowBuilder,
+    engine: str = "auto",
+    processes: Optional[int] = None,
+) -> SweepResult:
+    """Run every case and collect ``parameters | row_builder(trajectory)`` rows.
+
+    ``engine`` selects the execution backend (see
+    :func:`repro.experiments.runner.run_cases`): ``"auto"`` fuses same-network
+    groups into batched integrations, ``"batch"`` forces batching, ``"serial"``
+    runs the original scalar loop and ``"processes"`` uses a worker pool.
+    """
+    # Imported lazily: the runner builds on analysis types defined above.
+    from ..experiments.runner import run_cases
+
+    return run_cases(list(cases), row_builder, engine=engine, processes=processes)
 
 
 def convergence_row_builder(delta: float, epsilon: float) -> RowBuilder:

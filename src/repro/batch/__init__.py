@@ -1,0 +1,22 @@
+"""Batched vectorized simulation: whole ensembles as one stacked integration.
+
+This subpackage is the execution layer behind the parameter sweeps: instead
+of running ``B`` independent scalar simulations through Python loops, a
+:class:`BatchSimulator` evolves all replicas as a single ``(B, P)`` array
+with vectorised right-hand sides, per-row bulletin-board clocks (rows may
+have different update periods ``T``) and per-row horizons.  Row ``r``
+reproduces the scalar :class:`~repro.core.simulator.ReroutingSimulator`
+trajectory of the same configuration exactly; see
+``tests/batch/test_batch_equivalence.py``.
+"""
+
+from .board import BatchBulletinBoard
+from .engine import BatchConfig, BatchResult, BatchSimulator, simulate_batch
+
+__all__ = [
+    "BatchBulletinBoard",
+    "BatchConfig",
+    "BatchResult",
+    "BatchSimulator",
+    "simulate_batch",
+]

@@ -9,6 +9,8 @@ writing Python:
 * ``solve``          -- compute the Wardrop equilibrium with Frank--Wolfe,
 * ``simulate``       -- run a rerouting policy under bulletin-board staleness
   and report convergence / oscillation diagnostics,
+* ``sweep``          -- run a whole update-period sweep through the batched
+  experiment runner and export the result table,
 * ``oscillate``      -- reproduce the Section 3.2 best-response oscillation
   for a chosen ``beta`` and update period.
 
@@ -18,6 +20,7 @@ Examples::
     python -m repro.cli describe braess
     python -m repro.cli solve pigou-quadratic
     python -m repro.cli simulate two-links-steep --policy replicator --period auto
+    python -m repro.cli sweep braess --policy uniform --periods 0.05,0.1,0.2 --csv out.csv
     python -m repro.cli oscillate --beta 4 --period 0.5
 """
 
@@ -27,7 +30,14 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import analyse_oscillation, phase_start_latency_trace, print_table
+from .analysis import (
+    SweepCase,
+    analyse_oscillation,
+    convergence_row_builder,
+    phase_start_latency_trace,
+    print_table,
+    run_sweep,
+)
 from .core import (
     better_response_policy,
     oscillation_amplitude,
@@ -74,6 +84,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--horizon", type=float, default=60.0, help="simulated time horizon")
     run.add_argument("--fresh", action="store_true", help="use up-to-date information instead")
+    run.add_argument(
+        "--method", choices=["rk4", "euler"], default="rk4", help="integration scheme"
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep the update period through the batched experiment runner"
+    )
+    sweep.add_argument("instance", help="registered instance name")
+    sweep.add_argument("--policy", choices=sorted(POLICY_BUILDERS), default="replicator")
+    sweep.add_argument(
+        "--periods",
+        default="0.05,0.1,0.2,0.4",
+        help="comma-separated bulletin-board update periods T",
+    )
+    sweep.add_argument("--horizon", type=float, default=30.0, help="simulated time horizon")
+    sweep.add_argument("--delta", type=float, default=0.1, help="equilibrium latency slack delta")
+    sweep.add_argument("--epsilon", type=float, default=0.1, help="unsatisfied volume target eps")
+    sweep.add_argument(
+        "--engine",
+        choices=["auto", "batch", "processes", "serial"],
+        default="auto",
+        help="execution backend for the sweep cases",
+    )
+    sweep.add_argument("--processes", type=int, default=None, help="worker pool size")
+    sweep.add_argument(
+        "--method", choices=["rk4", "euler"], default="rk4", help="integration scheme"
+    )
+    sweep.add_argument("--steps-per-phase", type=int, default=50, help="sub-steps per phase")
+    sweep.add_argument("--fresh", action="store_true", help="use up-to-date information instead")
+    sweep.add_argument("--csv", default=None, help="write the result rows to this CSV file")
+    sweep.add_argument("--jsonl", default=None, help="write the result rows to this JSONL file")
 
     oscillate = subparsers.add_parser(
         "oscillate", help="reproduce the Section 3.2 best-response oscillation"
@@ -117,7 +158,14 @@ def _cmd_solve(instance: str, tolerance: float) -> int:
     return 0
 
 
-def _cmd_simulate(instance: str, policy_name: str, period: str, horizon: float, fresh: bool) -> int:
+def _cmd_simulate(
+    instance: str,
+    policy_name: str,
+    period: str,
+    horizon: float,
+    fresh: bool,
+    method: str = "rk4",
+) -> int:
     network = get_instance(instance)
     policy = POLICY_BUILDERS[policy_name](network)
     if period == "auto":
@@ -134,7 +182,7 @@ def _cmd_simulate(instance: str, policy_name: str, period: str, horizon: float, 
     start = start.blend(FlowVector.uniform(network), 0.05)
     trajectory = simulate(
         network, policy, update_period=update_period, horizon=horizon,
-        initial_flow=start, stale=not fresh,
+        initial_flow=start, stale=not fresh, method=method,
     )
     report = analyse_oscillation(trajectory)
     print(trajectory.describe())
@@ -144,6 +192,62 @@ def _cmd_simulate(instance: str, policy_name: str, period: str, horizon: float, 
     print(f"  final avg latency    = {trajectory.final_flow.average_latency():.6g}")
     print(f"  tail oscillation     = {report.amplitude:.3g} "
           f"({'oscillating' if report.is_oscillating else 'settled'})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import ExperimentPlan, run_plan
+
+    network = get_instance(args.instance)
+    policy = POLICY_BUILDERS[args.policy](network)
+    try:
+        periods = [float(token) for token in args.periods.split(",") if token.strip()]
+    except ValueError:
+        print("error: --periods must be a comma-separated list of numbers", file=sys.stderr)
+        return 2
+    if not periods or any(period <= 0 for period in periods):
+        print("error: --periods must contain positive numbers", file=sys.stderr)
+        return 2
+
+    def build_case(params, rng):
+        return SweepCase(
+            parameters={"T": params["update_period"]},
+            network=network,
+            policy=policy,
+            update_period=params["update_period"],
+            horizon=args.horizon,
+            stale=not args.fresh,
+            steps_per_phase=args.steps_per_phase,
+            method=args.method,
+        )
+
+    plan = ExperimentPlan.from_axes(
+        f"sweep-{args.instance}-{args.policy}", build_case, update_period=periods
+    )
+    convergence = convergence_row_builder(args.delta, args.epsilon)
+
+    def build_row(trajectory):
+        row = dict(convergence(trajectory))
+        row["final_avg_latency"] = trajectory.final_flow.average_latency()
+        row["final_potential"] = potential(trajectory.final_flow)
+        return row
+
+    result = run_plan(
+        plan,
+        build_row,
+        engine=args.engine,
+        processes=args.processes,
+        csv_path=args.csv,
+        jsonl_path=args.jsonl,
+    )
+    print_table(
+        result.rows,
+        title=f"Sweep of {args.instance} ({args.policy}, "
+        f"{'fresh' if args.fresh else 'stale'} info, {args.method}, engine={args.engine})",
+    )
+    for path in (args.csv, args.jsonl):
+        if path:
+            print(f"wrote {path}")
     return 0
 
 
@@ -172,7 +276,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "solve":
         return _cmd_solve(args.instance, args.tolerance)
     if args.command == "simulate":
-        return _cmd_simulate(args.instance, args.policy, args.period, args.horizon, args.fresh)
+        return _cmd_simulate(
+            args.instance, args.policy, args.period, args.horizon, args.fresh, args.method
+        )
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "oscillate":
         return _cmd_oscillate(args.beta, args.period, args.phases)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -21,7 +21,16 @@ from .bounds import (
     uniform_convergence_bound,
 )
 from .bulletin import BoardSnapshot, BulletinBoard, FreshInformationBoard
-from .dynamics import euler_step, integrate, integration_step_for, rk4_step
+from .dynamics import (
+    batch_stepper_for,
+    euler_step,
+    euler_step_batch,
+    integrate,
+    integration_step_for,
+    num_integration_steps,
+    rk4_step,
+    rk4_step_batch,
+)
 from .migration import (
     BetterResponseMigration,
     LinearMigration,
@@ -71,12 +80,16 @@ __all__ = [
     "Trajectory",
     "TrajectoryPoint",
     "UniformSampling",
+    "batch_stepper_for",
     "best_reply_target",
     "better_response_policy",
     "check_alpha_smoothness",
     "euler_step",
+    "euler_step_batch",
     "integrate",
     "integration_step_for",
+    "num_integration_steps",
+    "rk4_step_batch",
     "max_safe_alpha",
     "max_update_period_for_latency",
     "migration_rule_for_period",

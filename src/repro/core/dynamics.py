@@ -47,6 +47,52 @@ _STEPPERS = {
 }
 
 
+# Batched steppers ----------------------------------------------------------
+#
+# The batched engine of :mod:`repro.batch` integrates a whole ensemble of
+# independent replicas as one (B, P) state array.  Because every row may have
+# its own bulletin-board period, the step size is a per-row column ``(B, 1)``
+# (a plain scalar also works); the arithmetic is exactly that of the scalar
+# steppers applied row by row, so a batched run reproduces the scalar
+# trajectories to the last bit.
+
+def euler_step_batch(field: RateField, time, state: np.ndarray, step) -> np.ndarray:
+    """Advance a ``(B, P)`` batch one explicit-Euler step of per-row size ``step``."""
+    return state + step * field(time, state)
+
+
+def rk4_step_batch(field: RateField, time, state: np.ndarray, step) -> np.ndarray:
+    """Advance a ``(B, P)`` batch one classical RK4 step of per-row size ``step``."""
+    k1 = field(time, state)
+    k2 = field(time + 0.5 * step, state + 0.5 * step * k1)
+    k3 = field(time + 0.5 * step, state + 0.5 * step * k2)
+    k4 = field(time + step, state + step * k3)
+    return state + (step / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+_BATCH_STEPPERS = {
+    "euler": euler_step_batch,
+    "rk4": rk4_step_batch,
+}
+
+
+def batch_stepper_for(method: str):
+    """Return the batched stepper for ``method`` ('euler' or 'rk4')."""
+    try:
+        return _BATCH_STEPPERS[method]
+    except KeyError as error:
+        raise ValueError(f"unknown integration method {method!r}; use 'euler' or 'rk4'") from error
+
+
+def num_integration_steps(duration: float, max_step: float) -> int:
+    """Return the number of equal sub-steps ``integrate`` uses for one interval.
+
+    Exposed so the batched engine can mirror the scalar step count exactly
+    (floating-point effects can make ``ceil(T / (T / n))`` exceed ``n``).
+    """
+    return max(1, int(np.ceil(duration / max_step)))
+
+
 def integrate(
     field: RateField,
     state: np.ndarray,
@@ -72,7 +118,7 @@ def integrate(
     duration = end_time - start_time
     if duration == 0:
         return state.copy()
-    num_steps = max(1, int(np.ceil(duration / max_step)))
+    num_steps = num_integration_steps(duration, max_step)
     step = duration / num_steps
     time = start_time
     current = state.copy()

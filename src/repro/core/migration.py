@@ -51,6 +51,21 @@ class MigrationRule(ABC):
                     )
         return result
 
+    def matrix_batch(self, path_latencies: np.ndarray) -> np.ndarray:
+        """Return a ``(B, P, P)`` stack of migration matrices for ``(B, P)`` latencies.
+
+        The default loops over the batch rows and calls :meth:`matrix`, so
+        custom migration rules work in the batched engine unchanged; the
+        built-in linear/better-response family overrides this with a
+        vectorised implementation matching the scalar arithmetic exactly.
+        """
+        return np.stack([self.matrix(row) for row in path_latencies])
+
+    @staticmethod
+    def _pairwise_improvements(path_latencies: np.ndarray) -> np.ndarray:
+        """Return ``diff[b, p, q] = l_p - l_q`` for a ``(B, P)`` latency batch."""
+        return path_latencies[:, :, None] - path_latencies[:, None, :]
+
     @property
     def smoothness(self) -> Optional[float]:
         """Return the smallest known alpha for which the rule is alpha-smooth.
@@ -81,6 +96,10 @@ class BetterResponseMigration(MigrationRule):
     def probability(self, latency_from: float, latency_to: float) -> float:
         return 1.0 if latency_from > latency_to else 0.0
 
+    def matrix_batch(self, path_latencies: np.ndarray) -> np.ndarray:
+        diff = self._pairwise_improvements(path_latencies)
+        return (diff > 0.0).astype(float)
+
     @property
     def smoothness(self) -> Optional[float]:
         return None
@@ -102,6 +121,12 @@ class LinearMigration(MigrationRule):
         if latency_from <= latency_to:
             return 0.0
         return min(1.0, (latency_from - latency_to) / self.max_latency)
+
+    def matrix_batch(self, path_latencies: np.ndarray) -> np.ndarray:
+        diff = self._pairwise_improvements(path_latencies)
+        mu = np.minimum(1.0, diff / self.max_latency)
+        mu[diff <= 0.0] = 0.0
+        return mu
 
     @property
     def smoothness(self) -> Optional[float]:
@@ -133,6 +158,12 @@ class ScaledLinearMigration(MigrationRule):
             return 0.0
         return min(1.0, self.alpha * (latency_from - latency_to))
 
+    def matrix_batch(self, path_latencies: np.ndarray) -> np.ndarray:
+        diff = self._pairwise_improvements(path_latencies)
+        mu = np.minimum(1.0, self.alpha * diff)
+        mu[diff <= 0.0] = 0.0
+        return mu
+
     @property
     def smoothness(self) -> Optional[float]:
         return self.alpha
@@ -160,6 +191,12 @@ class SmoothedBetterResponseMigration(MigrationRule):
         if latency_from <= latency_to:
             return 0.0
         return min(1.0, (latency_from - latency_to) / self.width)
+
+    def matrix_batch(self, path_latencies: np.ndarray) -> np.ndarray:
+        diff = self._pairwise_improvements(path_latencies)
+        mu = np.minimum(1.0, diff / self.width)
+        mu[diff <= 0.0] = 0.0
+        return mu
 
     @property
     def smoothness(self) -> Optional[float]:

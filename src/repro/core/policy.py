@@ -103,6 +103,39 @@ class ReroutingPolicy:
         rho = self.migration_rates(network, current_flows, posted_flows, posted_path_latencies)
         return rho.sum(axis=0) - rho.sum(axis=1)
 
+    def migration_rates_batch(
+        self,
+        network: WardropNetwork,
+        current_flows: np.ndarray,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        """Return ``(B, P, P)`` migration-rate matrices for a batch of replicas.
+
+        All inputs have shape ``(B, P)``; row ``b`` of the result equals
+        :meth:`migration_rates` applied to row ``b``.  The built-in sampling
+        and migration rules supply vectorised batch kernels; custom rules fall
+        back to a per-row loop inside :meth:`SamplingRule.probabilities_batch`
+        and :meth:`MigrationRule.matrix_batch`, so any policy works here.
+        """
+        sigma = self.sampling.probabilities_batch(network, posted_flows, posted_path_latencies)
+        mu = self.migration.matrix_batch(posted_path_latencies)
+        # Same association order as the scalar path: (f * sigma) * mu.
+        return (current_flows[:, :, None] * sigma) * mu
+
+    def growth_rates_batch(
+        self,
+        network: WardropNetwork,
+        current_flows: np.ndarray,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        """Return ``(B, P)`` growth rates ``df/dt``, one row per batch replica."""
+        rho = self.migration_rates_batch(
+            network, current_flows, posted_flows, posted_path_latencies
+        )
+        return rho.sum(axis=1) - rho.sum(axis=2)
+
 
 def uniform_policy(network: WardropNetwork, max_latency: Optional[float] = None) -> ReroutingPolicy:
     """Uniform sampling + linear migration (the Theorem 6 policy)."""

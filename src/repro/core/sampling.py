@@ -50,6 +50,27 @@ class SamplingRule(ABC):
     ) -> np.ndarray:
         """Return the sampling matrix for the posted (bulletin-board) state."""
 
+    def probabilities_batch(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        """Return a ``(B, P, P)`` stack of sampling matrices, one per batch row.
+
+        ``posted_flows`` and ``posted_path_latencies`` have shape ``(B, P)``.
+        The default loops over the rows and calls :meth:`probabilities`, so
+        custom sampling rules work in the batched engine unchanged; the
+        built-in rules override this with a vectorised implementation that
+        performs the same floating-point operations row by row.
+        """
+        return np.stack(
+            [
+                self.probabilities(network, posted_flows[b], posted_path_latencies[b])
+                for b in range(posted_flows.shape[0])
+            ]
+        )
+
     def validate(self, sigma: np.ndarray, network: WardropNetwork, tolerance: float = 1e-9) -> None:
         """Check that ``sigma`` is a proper within-commodity stochastic matrix."""
         if sigma.shape != (network.num_paths, network.num_paths):
@@ -90,6 +111,16 @@ class UniformSampling(SamplingRule):
             sigma[np.ix_(indices, indices)] = 1.0 / len(indices)
         return sigma
 
+    def probabilities_batch(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        # Flow-independent: one template broadcast over the batch (read-only).
+        template = self.probabilities(network, posted_flows[0], posted_path_latencies[0])
+        return np.broadcast_to(template, (posted_flows.shape[0],) + template.shape)
+
 
 class ProportionalSampling(SamplingRule):
     """Sample a path proportionally to the flow using it (replicator sampling).
@@ -129,6 +160,31 @@ class ProportionalSampling(SamplingRule):
             sigma[np.ix_(indices, indices)] = np.tile(distribution, (len(indices), 1))
         return sigma
 
+    def probabilities_batch(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        batch = posted_flows.shape[0]
+        sigma = np.zeros((batch, network.num_paths, network.num_paths))
+        rows = np.arange(batch)
+        for i in range(network.num_commodities):
+            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+            shares = np.clip(posted_flows[:, indices], 0.0, None)
+            totals = shares.sum(axis=1)
+            starved = totals <= 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                distribution = shares / totals[:, None]
+            distribution[starved] = 1.0 / len(indices)
+            if self.exploration > 0:
+                distribution = (
+                    (1.0 - self.exploration) * distribution
+                    + self.exploration / len(indices)
+                )
+            sigma[np.ix_(rows, indices, indices)] = distribution[:, None, :]
+        return sigma
+
 
 class SoftmaxSampling(SamplingRule):
     """Smoothed best-response sampling ``sigma_PQ ∝ exp(-c * l_Q)``.
@@ -159,4 +215,23 @@ class SoftmaxSampling(SamplingRule):
             scores = np.exp(-self.concentration * (latencies - latencies.min()))
             distribution = scores / scores.sum()
             sigma[np.ix_(indices, indices)] = np.tile(distribution, (len(indices), 1))
+        return sigma
+
+    def probabilities_batch(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ) -> np.ndarray:
+        batch = posted_flows.shape[0]
+        sigma = np.zeros((batch, network.num_paths, network.num_paths))
+        rows = np.arange(batch)
+        for i in range(network.num_commodities):
+            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+            latencies = posted_path_latencies[:, indices]
+            scores = np.exp(
+                -self.concentration * (latencies - latencies.min(axis=1, keepdims=True))
+            )
+            distribution = scores / scores.sum(axis=1, keepdims=True)
+            sigma[np.ix_(rows, indices, indices)] = distribution[:, None, :]
         return sigma

@@ -1,0 +1,21 @@
+"""Experiment plans and the parallel experiment runner.
+
+Build an :class:`ExperimentPlan` from parameter axes, then dispatch it with
+:func:`run_plan`: same-network case groups become one vectorized
+:class:`~repro.batch.BatchSimulator` integration, heterogeneous cases can fan
+out over a process pool, and every case carries a deterministic seed so
+randomised ingredients reproduce exactly.  Results persist as CSV/JSONL via
+:class:`~repro.analysis.sweeps.SweepResult`.
+"""
+
+from .plan import CaseBuilder, ExperimentPlan, case_seed
+from .runner import group_key, run_cases, run_plan
+
+__all__ = [
+    "CaseBuilder",
+    "ExperimentPlan",
+    "case_seed",
+    "group_key",
+    "run_cases",
+    "run_plan",
+]

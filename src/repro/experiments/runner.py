@@ -1,0 +1,190 @@
+"""Experiment execution: batched, pooled or serial dispatch of sweep cases.
+
+The runner turns a list of :class:`~repro.analysis.sweeps.SweepCase` objects
+into a :class:`~repro.analysis.sweeps.SweepResult` by choosing, per group of
+cases, the cheapest execution backend:
+
+* **batch** — cases that share a network, policy, information model and
+  integration method are fused into one vectorized
+  :class:`~repro.batch.BatchSimulator` integration (per-row update periods,
+  horizons, resolutions and initial flows), which is the fast path for the
+  paper's parameter sweeps;
+* **processes** — heterogeneous cases (different networks or policies) can be
+  fanned out over a ``multiprocessing`` pool;
+* **serial** — the original one-case-at-a-time loop, always available as the
+  reference backend.
+
+``engine="auto"`` batches every multi-case group and runs the remainder
+serially (or on a pool when ``processes > 1`` is requested).  Whatever the
+backend, rows are emitted in the original case order and each case's
+trajectory is identical to a scalar run, so results never depend on the
+dispatch decision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.sweeps import RowBuilder, SweepCase, SweepResult
+from ..batch.engine import BatchConfig, BatchSimulator
+from ..core.simulator import simulate
+from ..core.trajectory import Trajectory
+from ..wardrop.flow import FlowVector
+from .plan import ExperimentPlan
+
+GroupKey = Tuple[int, int, bool, str]
+
+
+def group_key(case: SweepCase) -> GroupKey:
+    """Return the batch-compatibility key of a case.
+
+    Cases batch together when they share the same network and policy objects,
+    the same information model (stale vs fresh) and the same integration
+    method; update period, horizon, steps-per-phase and initial flow may vary
+    per row.
+    """
+    return (id(case.network), id(case.policy), case.stale, case.method)
+
+
+def _simulate_case(case: SweepCase) -> Trajectory:
+    """Run one case through the scalar simulator (also the pool worker)."""
+    return simulate(
+        case.network,
+        case.policy,
+        update_period=case.update_period,
+        horizon=case.horizon,
+        initial_flow=case.initial_flow,
+        stale=case.stale,
+        steps_per_phase=case.steps_per_phase,
+        method=case.method,
+    )
+
+
+def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
+    """Run one compatible group as a single batched integration."""
+    first = cases[0]
+    network = first.network
+    config = BatchConfig(
+        update_periods=np.array([case.update_period for case in cases], dtype=float),
+        horizons=np.array([case.horizon for case in cases], dtype=float),
+        steps_per_phase=np.array([case.steps_per_phase for case in cases], dtype=int),
+        method=first.method,
+        stale=first.stale,
+    )
+    initial_flows = [
+        case.initial_flow if case.initial_flow is not None else FlowVector.uniform(network)
+        for case in cases
+    ]
+    result = BatchSimulator(network, first.policy, config).run(initial_flows)
+    return [result.trajectory(row) for row in range(len(cases))]
+
+
+def _run_pool(cases: Sequence[SweepCase], processes: int) -> List[Trajectory]:
+    """Run cases on a worker pool, preserving order; falls back to serial."""
+    if processes <= 1 or len(cases) <= 1:
+        return [_simulate_case(case) for case in cases]
+    try:
+        # Prefer fork (cheap, shares the loaded modules); fall back to the
+        # platform default (spawn on Windows/macOS) where fork is missing.
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context()
+    with context.Pool(min(processes, len(cases))) as pool:
+        return pool.map(_simulate_case, cases)
+
+
+def _dispatch(
+    cases: List[SweepCase], engine: str, processes: Optional[int]
+) -> List[Trajectory]:
+    """Return one trajectory per case, in case order."""
+    if engine == "serial":
+        return [_simulate_case(case) for case in cases]
+    if engine == "processes":
+        return _run_pool(cases, processes or os.cpu_count() or 1)
+    if engine not in ("auto", "batch"):
+        raise ValueError(
+            f"unknown engine {engine!r}; use 'auto', 'batch', 'processes' or 'serial'"
+        )
+
+    groups: Dict[GroupKey, List[int]] = {}
+    for index, case in enumerate(cases):
+        groups.setdefault(group_key(case), []).append(index)
+
+    trajectories: List[Optional[Trajectory]] = [None] * len(cases)
+    leftovers: List[int] = []
+    for indices in groups.values():
+        if engine == "batch" or len(indices) > 1:
+            for index, trajectory in zip(
+                indices, _run_batch_group([cases[i] for i in indices])
+            ):
+                trajectories[index] = trajectory
+        else:
+            leftovers.extend(indices)
+    if leftovers:
+        leftovers.sort()
+        if processes and processes > 1:
+            results = _run_pool([cases[i] for i in leftovers], processes)
+        else:
+            results = [_simulate_case(cases[i]) for i in leftovers]
+        for index, trajectory in zip(leftovers, results):
+            trajectories[index] = trajectory
+    return trajectories  # type: ignore[return-value]
+
+
+def run_cases(
+    cases: List[SweepCase],
+    row_builder: RowBuilder,
+    engine: str = "auto",
+    processes: Optional[int] = None,
+) -> SweepResult:
+    """Execute cases on the selected backend and collect the result rows.
+
+    ``row_builder(trajectory)`` may return a single mapping or a list of
+    mappings (e.g. one row per evaluation target); every returned row is
+    merged over the case's echoed ``parameters``.
+    """
+    cases = list(cases)
+    trajectories = _dispatch(cases, engine, processes)
+    result = SweepResult()
+    for case, trajectory in zip(cases, trajectories):
+        built = row_builder(trajectory)
+        rows = built if isinstance(built, (list, tuple)) else [built]
+        for row in rows:
+            merged: Dict[str, object] = dict(case.parameters)
+            merged.update(row)
+            result.append(merged)
+    return result
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    row_builder: RowBuilder,
+    engine: str = "auto",
+    processes: Optional[int] = None,
+    csv_path=None,
+    jsonl_path=None,
+    include_seed: bool = False,
+) -> SweepResult:
+    """Run a whole experiment plan and optionally persist the result rows.
+
+    ``include_seed`` adds each case's deterministic seed as a ``seed`` column
+    (rows produced by a multi-row builder share their case's seed).
+    """
+    if include_seed:
+        cases = [
+            dataclasses.replace(case, parameters={**case.parameters, "seed": seed})
+            for case, seed in zip(plan.cases, plan.seeds)
+        ]
+    else:
+        cases = plan.cases
+    result = run_cases(cases, row_builder, engine=engine, processes=processes)
+    if csv_path is not None:
+        result.to_csv(csv_path)
+    if jsonl_path is not None:
+        result.to_jsonl(jsonl_path)
+    return result

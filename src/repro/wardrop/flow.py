@@ -124,11 +124,32 @@ class FlowVector:
         for i, commodity in enumerate(self.network.commodities):
             indices = list(self.network.paths.commodity_indices(i))
             routed = flows[indices].sum()
-            if routed <= 0:
+            # Subnormal totals would overflow demand / routed to inf (and
+            # 0 * inf to NaN), so they count as starved too.
+            if routed <= np.finfo(float).tiny:
                 flows[indices] = commodity.demand / len(indices)
             else:
                 flows[indices] *= commodity.demand / routed
         return FlowVector(self.network, flows)
+
+    @staticmethod
+    def project_batch(network: WardropNetwork, path_flows: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`projected` on a ``(B, P)`` batch of raw flow arrays.
+
+        Applies exactly the clip-and-rescale repair of :meth:`projected` to
+        every row and returns a new array; used by the batched simulator at
+        phase boundaries.
+        """
+        flows = np.clip(np.asarray(path_flows, dtype=float), 0.0, None)
+        for i, commodity in enumerate(network.commodities):
+            indices = list(network.paths.commodity_indices(i))
+            routed = flows[:, indices].sum(axis=1)
+            starved = routed <= np.finfo(float).tiny
+            safe = np.where(starved, 1.0, routed)
+            flows[:, indices] *= (commodity.demand / safe)[:, None]
+            if starved.any():
+                flows[np.ix_(np.flatnonzero(starved), indices)] = commodity.demand / len(indices)
+        return flows
 
     # Raw access ---------------------------------------------------------------
 

@@ -25,6 +25,8 @@ import math
 from abc import ABC, abstractmethod
 from typing import Sequence
 
+import numpy as np
+
 
 class LatencyFunction(ABC):
     """A continuous, non-decreasing latency function on ``[0, 1]``.
@@ -56,6 +58,19 @@ class LatencyFunction(ABC):
         shapes override this.
         """
         return self.derivative(hi)
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        """Return ``value`` evaluated elementwise on an array of flows.
+
+        The batched simulation engine evaluates every edge latency on a whole
+        ensemble of flows at once; subclasses override this with a vectorised
+        implementation that performs the *same floating-point operations* as
+        :meth:`value` so that batched and scalar runs agree bit for bit.  The
+        default falls back to a Python loop, which is slow but always correct
+        (custom latency functions keep working without a batch override).
+        """
+        x = np.asarray(x, dtype=float)
+        return np.array([self.value(float(v)) for v in x.ravel()]).reshape(x.shape)
 
     def __call__(self, x: float) -> float:
         return self.value(x)
@@ -110,6 +125,9 @@ class ConstantLatency(LatencyFunction):
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return 0.0
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return np.full(np.shape(x), self.constant, dtype=float)
+
     def __repr__(self) -> str:
         return f"ConstantLatency({self.constant})"
 
@@ -133,6 +151,9 @@ class LinearLatency(LatencyFunction):
 
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return self.coefficient
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return self.coefficient * np.asarray(x, dtype=float)
 
     def __repr__(self) -> str:
         return f"LinearLatency({self.coefficient})"
@@ -158,6 +179,9 @@ class AffineLatency(LatencyFunction):
 
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return self.slope
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
 
     def __repr__(self) -> str:
         return f"AffineLatency(slope={self.slope}, intercept={self.intercept})"
@@ -208,6 +232,16 @@ class PolynomialLatency(LatencyFunction):
         # Non-negative coefficients make the derivative non-decreasing.
         return self.derivative(hi)
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        # Same accumulation order as the scalar `value` for bit equality.
+        total = np.zeros_like(x)
+        power = np.ones_like(x)
+        for coefficient in self.coefficients:
+            total += coefficient * power
+            power *= x
+        return total
+
     def __repr__(self) -> str:
         return f"PolynomialLatency({self.coefficients})"
 
@@ -234,6 +268,9 @@ class MonomialLatency(LatencyFunction):
 
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return self.derivative(hi)
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return self.coefficient * np.asarray(x, dtype=float) ** self.degree
 
     def __repr__(self) -> str:
         return f"MonomialLatency({self.coefficient}, degree={self.degree})"
@@ -274,6 +311,10 @@ class BPRLatency(LatencyFunction):
 
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return self.derivative(hi)
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return self.free_flow_time * (1.0 + self.alpha * (x / self.capacity) ** self.beta)
 
     def __repr__(self) -> str:
         return (
@@ -322,6 +363,15 @@ class MM1Latency(LatencyFunction):
 
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return self.derivative(min(hi, self.cap)) if hi <= self.cap else self._cap_slope
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        # The queueing branch is only selected where x <= cap < capacity, so
+        # the masked-out division can never hit the pole.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            queueing = 1.0 / (self.capacity - x)
+        linear = self._cap_value + self._cap_slope * (x - self.cap)
+        return np.where(x <= self.cap, queueing, linear)
 
     def __repr__(self) -> str:
         return f"MM1Latency(capacity={self.capacity}, cap={self.cap})"
@@ -397,6 +447,17 @@ class PiecewiseLinearLatency(LatencyFunction):
             best = max(best, self._slope(i))
         return best
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        xs = np.asarray(self.xs)
+        ys = np.asarray(self.ys)
+        # Mirror `_segment`: the largest i with xs[i] <= x, clipped to a valid
+        # segment so values outside [x0, x_last] extrapolate linearly exactly
+        # like the scalar path.
+        idx = np.clip(np.searchsorted(xs, x, side="right") - 1, 0, len(xs) - 2)
+        slopes = (ys[idx + 1] - ys[idx]) / (xs[idx + 1] - xs[idx])
+        return ys[idx] + slopes * (x - xs[idx])
+
     def __repr__(self) -> str:
         points = list(zip(self.xs, self.ys))
         return f"PiecewiseLinearLatency({points})"
@@ -446,6 +507,9 @@ class ScaledLatency(LatencyFunction):
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return self.factor * self.base.max_slope(lo, hi)
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return self.factor * self.base.value_array(x)
+
     def __repr__(self) -> str:
         return f"ScaledLatency({self.base!r}, {self.factor})"
 
@@ -469,6 +533,13 @@ class SumLatency(LatencyFunction):
 
     def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return sum(part.max_slope(lo, hi) for part in self.parts)
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        # Same left-to-right accumulation as the scalar sum().
+        total = self.parts[0].value_array(x)
+        for part in self.parts[1:]:
+            total = total + part.value_array(x)
+        return total
 
     def __repr__(self) -> str:
         return f"SumLatency({self.parts!r})"

@@ -199,6 +199,34 @@ class WardropNetwork:
         """
         return self._incidence.T @ np.asarray(edge_latencies, dtype=float)
 
+    # Batched evaluation -----------------------------------------------------
+    #
+    # The batched simulation engine (:mod:`repro.batch`) evolves an ensemble
+    # of B independent flows on the same network as one (B, P) array.  The
+    # methods below are the row-wise counterparts of the scalar evaluators
+    # above: row b of the result equals the scalar method applied to row b.
+
+    def edge_flows_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        """Aggregate a ``(B, P)`` batch of path flows to ``(B, E)`` edge flows."""
+        return np.asarray(path_flows, dtype=float) @ self._incidence.T
+
+    def edge_latencies_batch(self, edge_flows: np.ndarray) -> np.ndarray:
+        """Evaluate every edge latency on a ``(B, E)`` batch of edge flows."""
+        edge_flows = np.asarray(edge_flows, dtype=float)
+        result = np.empty_like(edge_flows)
+        for i, edge in enumerate(self._edges):
+            result[:, i] = self.latency_function(edge).value_array(edge_flows[:, i])
+        return result
+
+    def path_latencies_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        """Return ``l_P`` for every row of a ``(B, P)`` batch of path flows."""
+        edge_latencies = self.edge_latencies_batch(self.edge_flows_batch(path_flows))
+        return self.path_latencies_from_edge_latencies_batch(edge_latencies)
+
+    def path_latencies_from_edge_latencies_batch(self, edge_latencies: np.ndarray) -> np.ndarray:
+        """Return ``(B, P)`` path latencies from ``(B, E)`` posted edge latencies."""
+        return np.asarray(edge_latencies, dtype=float) @ self._incidence
+
     # Descriptions ----------------------------------------------------------
 
     def commodity_label(self, index: int) -> str:

@@ -1,0 +1,217 @@
+"""Tests for experiment plans (deterministic seeds), the runner's execution
+backends (batch / processes / serial must agree), result persistence and the
+``repro sweep`` command-line entry point.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepCase, SweepResult, convergence_row_builder, run_sweep
+from repro.cli import build_parser, main
+from repro.core import replicator_policy, scaled_policy, simulate, uniform_policy
+from repro.experiments import ExperimentPlan, case_seed, group_key, run_cases, run_plan
+from repro.instances import braess_network, pigou_network
+from repro.wardrop import FlowVector
+
+
+def pigou_plan(base_seed=0, periods=(0.1, 0.2), random_start=False):
+    network = pigou_network(degree=1)
+    policy = replicator_policy(network)
+
+    def build(params, rng):
+        start = FlowVector.random(network, rng) if random_start else None
+        return SweepCase(
+            parameters=dict(params),
+            network=network,
+            policy=policy,
+            update_period=params["update_period"],
+            horizon=1.0,
+            initial_flow=start,
+            steps_per_phase=5,
+        )
+
+    return ExperimentPlan.from_axes(
+        "pigou-T", build, base_seed=base_seed, update_period=list(periods)
+    )
+
+
+class TestPlan:
+    def test_from_axes_builds_cartesian_cases(self):
+        plan = pigou_plan(periods=(0.1, 0.2, 0.4))
+        assert len(plan) == 3
+        assert [case.parameters["update_period"] for case in plan.cases] == [0.1, 0.2, 0.4]
+        assert len(plan.seeds) == 3
+
+    def test_seeds_are_deterministic_and_distinct(self):
+        first = pigou_plan(base_seed=7)
+        second = pigou_plan(base_seed=7)
+        assert first.seeds == second.seeds
+        assert len(set(first.seeds)) == len(first.seeds)
+        assert pigou_plan(base_seed=8).seeds != first.seeds
+
+    def test_case_seed_depends_on_parameters(self):
+        assert case_seed(0, 0, {"T": 0.1}) != case_seed(0, 0, {"T": 0.2})
+        assert case_seed(0, 0, {"T": 0.1}) == case_seed(0, 0, {"T": 0.1})
+
+    def test_random_starts_reproducible(self):
+        first = pigou_plan(random_start=True)
+        second = pigou_plan(random_start=True)
+        for a, b in zip(first.cases, second.cases):
+            np.testing.assert_array_equal(a.initial_flow.values(), b.initial_flow.values())
+
+    def test_subset_preserves_seeds(self):
+        plan = pigou_plan(periods=(0.1, 0.2, 0.4))
+        subset = plan.subset([2, 0])
+        assert subset.seeds == [plan.seeds[2], plan.seeds[0]]
+        assert len(subset) == 2
+
+
+def mixed_cases():
+    """Two networks and policies: one batchable pair plus two singletons."""
+    pig = pigou_network(degree=1)
+    bra = braess_network()
+    pig_policy = replicator_policy(pig)
+    bra_policy = uniform_policy(bra)
+    return [
+        SweepCase({"case": 0}, pig, pig_policy, 0.1, 1.0, steps_per_phase=5),
+        SweepCase({"case": 1}, pig, pig_policy, 0.2, 1.0, steps_per_phase=5),
+        SweepCase({"case": 2}, bra, bra_policy, 0.1, 1.0, steps_per_phase=5),
+        SweepCase({"case": 3}, bra, bra_policy, 0.15, 1.0, steps_per_phase=5, stale=False),
+    ]
+
+
+class TestRunner:
+    def test_group_key_batches_compatible_cases(self):
+        cases = mixed_cases()
+        assert group_key(cases[0]) == group_key(cases[1])
+        assert group_key(cases[0]) != group_key(cases[2])
+        # Same network/policy but fresh info must not batch with stale.
+        assert group_key(cases[2]) != group_key(cases[3])
+
+    @pytest.mark.parametrize("engine", ["auto", "batch", "serial", "processes"])
+    def test_engines_agree(self, engine):
+        rows = run_cases(
+            mixed_cases(), convergence_row_builder(0.2, 0.1), engine=engine, processes=2
+        ).rows
+        reference = run_cases(
+            mixed_cases(), convergence_row_builder(0.2, 0.1), engine="serial"
+        ).rows
+        assert rows == reference
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_cases(mixed_cases(), convergence_row_builder(0.2, 0.1), engine="gpu")
+
+    def test_accepts_one_shot_case_iterator(self):
+        cases = mixed_cases()
+        result = run_cases(iter(cases), convergence_row_builder(0.2, 0.1), engine="serial")
+        assert len(result) == len(cases)
+
+    def test_multi_row_builder_expands_rows(self):
+        def rows_per_delta(trajectory):
+            return [{"delta": delta, "phases": len(trajectory.phases)} for delta in (0.1, 0.2)]
+
+        result = run_cases(mixed_cases()[:2], rows_per_delta, engine="batch")
+        assert len(result) == 4
+        assert result.column("delta") == [0.1, 0.2, 0.1, 0.2]
+        assert result.rows[0]["case"] == 0 and result.rows[2]["case"] == 1
+
+    def test_method_field_threads_through_sweep(self):
+        """SweepCase.method must reach the integrator (satellite regression)."""
+        network = pigou_network(degree=1)
+        policy = scaled_policy(1.0)
+        start = FlowVector(network, [0.9, 0.1])
+        builder = lambda t: {"final": t.final_flow.values().tolist()}
+        euler_case = SweepCase(
+            {}, network, policy, 0.25, 0.5, initial_flow=start,
+            steps_per_phase=2, method="euler",
+        )
+        rk4_case = SweepCase(
+            {}, network, policy, 0.25, 0.5, initial_flow=start,
+            steps_per_phase=2, method="rk4",
+        )
+        euler_row = run_cases([euler_case], builder, engine="serial").rows[0]
+        rk4_row = run_cases([rk4_case], builder, engine="serial").rows[0]
+        assert euler_row["final"] != rk4_row["final"]
+        expected = simulate(
+            network, policy, update_period=0.25, horizon=0.5, initial_flow=start,
+            steps_per_phase=2, method="euler",
+        )
+        assert euler_row["final"] == expected.final_flow.values().tolist()
+
+
+class TestPersistence:
+    def test_to_csv_and_jsonl_round_trip(self, tmp_path):
+        result = SweepResult()
+        result.append({"T": 0.1, "bad": 3})
+        result.append({"T": 0.2, "bad": 1, "extra": "x"})
+        csv_path = tmp_path / "rows.csv"
+        jsonl_path = tmp_path / "rows.jsonl"
+        result.to_csv(csv_path)
+        result.to_jsonl(jsonl_path)
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == "T,bad,extra"
+        assert lines[1].startswith("0.1,3")
+        parsed = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
+        assert parsed == [{"T": 0.1, "bad": 3}, {"T": 0.2, "bad": 1, "extra": "x"}]
+
+    def test_run_plan_persists_and_tags_seeds(self, tmp_path):
+        plan = pigou_plan()
+        csv_path = tmp_path / "plan.csv"
+        jsonl_path = tmp_path / "plan.jsonl"
+        result = run_plan(
+            plan,
+            convergence_row_builder(0.2, 0.1),
+            engine="batch",
+            csv_path=csv_path,
+            jsonl_path=jsonl_path,
+            include_seed=True,
+        )
+        assert csv_path.exists() and jsonl_path.exists()
+        assert result.column("seed") == plan.seeds
+        header = csv_path.read_text().splitlines()[0]
+        assert "seed" in header.split(",")
+
+
+class TestSweepCli:
+    def test_parses_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "braess", "--policy", "uniform", "--periods", "0.1,0.2",
+             "--engine", "batch", "--method", "euler"]
+        )
+        assert args.command == "sweep"
+        assert args.periods == "0.1,0.2"
+        assert args.engine == "batch"
+        assert args.method == "euler"
+
+    def test_simulate_accepts_method(self, capsys):
+        code = main(
+            ["simulate", "pigou-linear", "--policy", "uniform", "--period", "0.2",
+             "--horizon", "2", "--method", "euler"]
+        )
+        assert code == 0
+        assert "Trajectory" in capsys.readouterr().out
+
+    def test_sweep_runs_and_writes_outputs(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        jsonl_path = tmp_path / "sweep.jsonl"
+        code = main(
+            ["sweep", "pigou-linear", "--policy", "replicator",
+             "--periods", "0.1,0.2", "--horizon", "2", "--engine", "batch",
+             "--csv", str(csv_path), "--jsonl", str(jsonl_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Sweep of pigou-linear" in output
+        assert csv_path.exists()
+        rows = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
+        assert len(rows) == 2
+        assert {row["T"] for row in rows} == {0.1, 0.2}
+
+    def test_sweep_rejects_bad_periods(self, capsys):
+        assert main(["sweep", "braess", "--periods", "0.1,-0.2"]) == 2
+        assert main(["sweep", "braess", "--periods", "abc"]) == 2
