@@ -1,12 +1,14 @@
 """E8 -- throughput of the batched engine vs. the scalar simulation loop.
 
 The batched engine integrates a whole ensemble of replicas as one stacked
-``(B, P)`` array, so a 64-case sweep costs one vectorized integration loop
-instead of 64 Python-level simulations.  This benchmark measures cases per
-second both ways on the same 64-case same-network sweep (replicator policy,
-random starting flows, two nearby update periods) and asserts the batched
-path is at least 5x faster; in practice the gap is more than an order of
-magnitude.
+``(B, P)`` array -- including *multi-network* ensembles where every replica
+routes on its own same-topology instance with different latency
+coefficients.  This benchmark builds the acceptance workload of the
+family-batching layer: a 64-case two-link sweep whose slope coefficient
+``beta`` differs per case, run once as one `NetworkFamily` batched
+integration and once through the per-case scalar loop.  The batched path
+must be at least 10x faster and bit-equivalent to the scalar runs; in
+practice the gap is well over an order of magnitude.
 
 The scalar baseline is timed on an 8-case subsample to keep the benchmark
 quick: every case has the same horizon, resolution and nearly the same
@@ -22,38 +24,56 @@ import numpy as np
 import pytest
 
 from repro.analysis import print_table
-from repro.batch import simulate_batch
-from repro.core import replicator_policy, simulate
+from repro.batch import distance_stop, simulate_batch
+from repro.core import LinearMigration, ReroutingPolicy, UniformSampling, simulate
+from repro.experiments import group_key
+from repro.analysis.sweeps import SweepCase
 from repro.instances import two_link_network
-from repro.wardrop import FlowVector
+from repro.wardrop import FlowVector, NetworkFamily
 
 NUM_CASES = 64
 SCALAR_SAMPLE = 8
 PERIODS = [0.08, 0.1]
 HORIZON = 2.0
 STEPS_PER_PHASE = 20
+BETAS = np.linspace(2.0, 6.0, NUM_CASES)
 
 
-def build_sweep(network):
-    """Return the 64 (initial flow, update period) configurations."""
+def build_family_sweep():
+    """Return the 64-network family and its per-case configurations."""
+    family = NetworkFamily([two_link_network(beta=beta) for beta in BETAS])
+    # One shared policy for the whole family: uniform sampling is
+    # network-independent and the linear migration rule uses the family-wide
+    # latency bound, so the fully vectorised sigma/mu path applies.
+    policy = ReroutingPolicy(
+        sampling=UniformSampling(),
+        migration=LinearMigration(family.max_latency()),
+        name="uniform+linear(family)",
+    )
     rng = np.random.default_rng(42)
-    starts = [FlowVector.random(network, rng) for _ in range(NUM_CASES)]
+    starts = [FlowVector.random(network, rng) for network in family.networks]
     periods = [PERIODS[i % len(PERIODS)] for i in range(NUM_CASES)]
-    return starts, periods
+    return family, policy, starts, periods
 
 
 @pytest.mark.experiment("E8")
-def test_batch_vs_scalar_throughput(report_header):
-    network = two_link_network(beta=4.0)
-    policy = replicator_policy(network)
-    starts, periods = build_sweep(network)
+def test_family_batch_vs_scalar_throughput(report_header):
+    family, policy, starts, periods = build_family_sweep()
+
+    # The runner fuses all 64 same-topology/different-coefficient cases into
+    # one batch group -- no process pool involved.
+    cases = [
+        SweepCase({"beta": float(BETAS[i])}, family.member(i), policy, periods[i], HORIZON)
+        for i in range(NUM_CASES)
+    ]
+    assert len({group_key(case) for case in cases}) == 1
 
     begin = time.perf_counter()
     scalar_final = []
-    for start, period in zip(starts[:SCALAR_SAMPLE], periods[:SCALAR_SAMPLE]):
+    for row in range(SCALAR_SAMPLE):
         trajectory = simulate(
-            network, policy, update_period=period, horizon=HORIZON,
-            initial_flow=start, steps_per_phase=STEPS_PER_PHASE,
+            family.member(row), policy, update_period=periods[row], horizon=HORIZON,
+            initial_flow=starts[row], steps_per_phase=STEPS_PER_PHASE,
         )
         scalar_final.append(trajectory.final_flow.values())
     scalar_seconds = time.perf_counter() - begin
@@ -61,7 +81,7 @@ def test_batch_vs_scalar_throughput(report_header):
 
     begin = time.perf_counter()
     result = simulate_batch(
-        network, policy, periods, HORIZON,
+        family, policy, periods, HORIZON,
         initial_flows=starts, steps_per_phase=STEPS_PER_PHASE,
     )
     batch_seconds = time.perf_counter() - begin
@@ -77,32 +97,70 @@ def test_batch_vs_scalar_throughput(report_header):
                 "cases/sec": scalar_rate,
             },
             {
-                "engine": "BatchSimulator",
+                "engine": "BatchSimulator (family)",
                 "cases": NUM_CASES,
                 "seconds": batch_seconds,
                 "cases/sec": batch_rate,
             },
             {"engine": "speedup", "cases/sec": speedup},
         ],
-        title=f"E8: batched vs scalar throughput ({NUM_CASES}-case sweep, two links)",
+        title=(
+            f"E8: family-batched vs scalar throughput "
+            f"({NUM_CASES}-case two-link beta sweep)"
+        ),
     )
 
     # The batched rows must agree with the scalar runs they replace.
     final = result.final_flows()
     for row, scalar_values in enumerate(scalar_final):
         assert np.allclose(final[row], scalar_values, atol=1e-10)
-    assert speedup >= 5.0, f"batched engine only {speedup:.1f}x faster"
+    assert speedup >= 10.0, f"family-batched engine only {speedup:.1f}x faster"
 
 
 @pytest.mark.experiment("E8")
-def test_benchmark_batched_sweep(benchmark, report_header):
-    network = two_link_network(beta=4.0)
-    policy = replicator_policy(network)
-    starts, periods = build_sweep(network)
+def test_early_stopping_saves_steps_on_convergence_sweep(report_header):
+    """Frozen rows skip work: a convergence sweep with stop_when finishes
+    integrating far fewer phases than the full-horizon run."""
+    family, policy, _, _ = build_family_sweep()
+    starts = [FlowVector(network, [0.9, 0.1]) for network in family.networks]
+    periods = [0.1] * NUM_CASES
+    horizon = 40.0
+    targets = [FlowVector(network, [0.5, 0.5]) for network in family.networks]
+    condition = distance_stop(targets, 1e-3)
+
+    begin = time.perf_counter()
+    stopped = simulate_batch(
+        family, policy, periods, horizon,
+        initial_flows=starts, steps_per_phase=10, stop_when=condition,
+    )
+    stopped_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    full = simulate_batch(
+        family, policy, periods, horizon, initial_flows=starts, steps_per_phase=10,
+    )
+    full_seconds = time.perf_counter() - begin
+
+    integrated_phases = int((stopped.num_points - 1).sum())
+    full_phases = int((full.num_points - 1).sum())
+    print_table(
+        [
+            {"run": "stop_when", "phases": integrated_phases, "seconds": stopped_seconds},
+            {"run": "full horizon", "phases": full_phases, "seconds": full_seconds},
+        ],
+        title="E8b: early stopping on a 64-row convergence sweep",
+    )
+    assert stopped.stopped_rows().all()
+    assert integrated_phases < full_phases / 2
+
+
+@pytest.mark.experiment("E8")
+def test_benchmark_family_batched_sweep(benchmark, report_header):
+    family, policy, starts, periods = build_family_sweep()
 
     def run():
         return simulate_batch(
-            network, policy, periods, HORIZON,
+            family, policy, periods, HORIZON,
             initial_flows=starts, steps_per_phase=STEPS_PER_PHASE,
         )
 

@@ -6,8 +6,10 @@ approximation target delta, population size ...) and collect one summary row
 per setting.  The harness here removes the boilerplate so each benchmark
 focuses on what it varies and what it measures.
 
-Execution is delegated to :mod:`repro.experiments.runner`: cases that share
-a network and policy are fused into one vectorized
+Execution is delegated to :mod:`repro.experiments.runner`: cases whose
+networks share a topology (identical network objects, or same-topology
+networks with different latency coefficients, which stack into a
+:class:`~repro.wardrop.family.NetworkFamily`) are fused into one vectorized
 :class:`~repro.batch.BatchSimulator` integration, heterogeneous cases can be
 fanned out over a process pool, and ``engine="serial"`` recovers the
 original one-at-a-time loop.
@@ -90,6 +92,23 @@ class SweepResult:
             for row in self.rows:
                 handle.write(json.dumps(row, default=str) + "\n")
 
+    @classmethod
+    def from_csv(cls, path) -> "SweepResult":
+        """Load rows written by :meth:`to_csv`.
+
+        CSV carries no type information, so every value comes back as a
+        string (missing columns as ``""``); use :meth:`from_jsonl` when the
+        original types matter.
+        """
+        with open(path, newline="") as handle:
+            return cls(rows=[dict(row) for row in csv.DictReader(handle)])
+
+    @classmethod
+    def from_jsonl(cls, path) -> "SweepResult":
+        """Load rows written by :meth:`to_jsonl` (JSON types preserved)."""
+        with open(path) as handle:
+            return cls(rows=[json.loads(line) for line in handle if line.strip()])
+
 
 def run_sweep(
     cases: Iterable[SweepCase],
@@ -100,8 +119,9 @@ def run_sweep(
     """Run every case and collect ``parameters | row_builder(trajectory)`` rows.
 
     ``engine`` selects the execution backend (see
-    :func:`repro.experiments.runner.run_cases`): ``"auto"`` fuses same-network
-    groups into batched integrations, ``"batch"`` forces batching, ``"serial"``
+    :func:`repro.experiments.runner.run_cases`): ``"auto"`` fuses
+    same-topology groups (including different-coefficient network families)
+    into batched integrations, ``"batch"`` forces batching, ``"serial"``
     runs the original scalar loop and ``"processes"`` uses a worker pool.
     """
     # Imported lazily: the runner builds on analysis types defined above.

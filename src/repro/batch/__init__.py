@@ -4,19 +4,34 @@ This subpackage is the execution layer behind the parameter sweeps: instead
 of running ``B`` independent scalar simulations through Python loops, a
 :class:`BatchSimulator` evolves all replicas as a single ``(B, P)`` array
 with vectorised right-hand sides, per-row bulletin-board clocks (rows may
-have different update periods ``T``) and per-row horizons.  Row ``r``
-reproduces the scalar :class:`~repro.core.simulator.ReroutingSimulator`
-trajectory of the same configuration exactly; see
-``tests/batch/test_batch_equivalence.py``.
+have different update periods ``T``) and per-row horizons.  The replicas
+route on one shared network or on a
+:class:`~repro.wardrop.family.NetworkFamily` (same topology, per-row latency
+coefficients), and a vectorised ``stop_when`` mask (see
+:mod:`repro.batch.stopping`) freezes converged rows early so they skip all
+remaining work.  Row ``r`` reproduces the scalar
+:class:`~repro.core.simulator.ReroutingSimulator` trajectory of the same
+configuration exactly; see ``tests/batch``.
 """
 
 from .board import BatchBulletinBoard
-from .engine import BatchConfig, BatchResult, BatchSimulator, simulate_batch
+from .engine import (
+    BatchConfig,
+    BatchResult,
+    BatchSimulator,
+    BatchStoppingCondition,
+    simulate_batch,
+)
+from .stopping import StopCondition, distance_stop, equilibrium_gap_stop
 
 __all__ = [
     "BatchBulletinBoard",
     "BatchConfig",
     "BatchResult",
     "BatchSimulator",
+    "BatchStoppingCondition",
+    "StopCondition",
+    "distance_stop",
+    "equilibrium_gap_stop",
     "simulate_batch",
 ]

@@ -11,15 +11,20 @@ independent).
 
 :class:`BatchBulletinBoard` stores the posted flows, posted edge latencies
 and posted path latencies of all rows as stacked arrays, and refreshes any
-subset of rows in one vectorised network evaluation.
+subset of rows in one vectorised network evaluation.  The rows may route on
+a single shared network or on the members of a
+:class:`~repro.wardrop.family.NetworkFamily` (same topology, per-row latency
+coefficients); in the family case row ``r``'s snapshot is evaluated with
+member ``r``'s latency functions.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from ..wardrop.family import NetworkFamily
 from ..wardrop.network import WardropNetwork
 
 
@@ -39,18 +44,31 @@ class BatchBulletinBoard:
         The per-row phase-start times ``t_hat_r`` of the current snapshots.
     """
 
-    def __init__(self, network: WardropNetwork, update_periods: np.ndarray):
+    def __init__(
+        self,
+        network: Union[WardropNetwork, NetworkFamily],
+        update_periods: np.ndarray,
+    ):
         update_periods = np.asarray(update_periods, dtype=float)
         if update_periods.ndim != 1:
             raise ValueError("update_periods must be a one-dimensional array")
         if np.any(update_periods <= 0):
             raise ValueError("all update periods must be positive")
-        self.network = network
+        if isinstance(network, NetworkFamily):
+            if network.size != len(update_periods):
+                raise ValueError(
+                    f"family of {network.size} networks for {len(update_periods)} boards"
+                )
+            self.family: Optional[NetworkFamily] = network
+            self.network = network.base
+        else:
+            self.family = None
+            self.network = network
         self.update_periods = update_periods
         batch = len(update_periods)
-        self.posted_flows = np.zeros((batch, network.num_paths))
-        self.posted_edge_latencies = np.zeros((batch, network.num_edges))
-        self.posted_path_latencies = np.zeros((batch, network.num_paths))
+        self.posted_flows = np.zeros((batch, self.network.num_paths))
+        self.posted_edge_latencies = np.zeros((batch, self.network.num_edges))
+        self.posted_path_latencies = np.zeros((batch, self.network.num_paths))
         self.posted_times = np.full(batch, -np.inf)
         self.phase_index = np.full(batch, -1, dtype=int)
         self._ever_posted = np.zeros(batch, dtype=bool)
@@ -84,7 +102,12 @@ class BatchBulletinBoard:
             return
         flows = np.asarray(path_flows, dtype=float)[mask]
         edge_flows = network.edge_flows_batch(flows)
-        edge_latencies = network.edge_latencies_batch(edge_flows)
+        if self.family is None:
+            edge_latencies = network.edge_latencies_batch(edge_flows)
+        else:
+            edge_latencies = self.family.edge_latencies_batch(
+                edge_flows, np.flatnonzero(mask)
+            )
         self.posted_flows[mask] = flows
         self.posted_edge_latencies[mask] = edge_latencies
         self.posted_path_latencies[mask] = network.path_latencies_from_edge_latencies_batch(

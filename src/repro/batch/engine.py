@@ -1,19 +1,24 @@
 """The batched fluid-limit simulation engine.
 
 :class:`BatchSimulator` evolves ``B`` independent replicas of the rerouting
-dynamics on the *same* network as one stacked ``(B, P)`` array: one
-vectorised right-hand side per integration step instead of one Python-level
-simulation per replica.  Rows may differ in initial flow, bulletin-board
-update period, horizon, steps-per-phase resolution and (via a list of
-policies) policy parameters, so a whole parameter sweep becomes a single
-integration.
+dynamics as one stacked ``(B, P)`` array: one vectorised right-hand side per
+integration step instead of one Python-level simulation per replica.  Rows
+may differ in initial flow, bulletin-board update period, horizon,
+steps-per-phase resolution and (via a list of policies) policy parameters,
+so a whole parameter sweep becomes a single integration.  The replicas route
+either on one shared :class:`~repro.wardrop.network.WardropNetwork` or on
+the members of a :class:`~repro.wardrop.family.NetworkFamily` -- networks
+with identical topology but per-row latency coefficients -- which turns the
+paper's coefficient sweeps (Pigou constants, Braess shortcut latencies,
+two-link slopes) into one batched run as well.
 
 Correctness contract
 --------------------
 Row ``r`` of a batched run reproduces the scalar
 :class:`~repro.core.simulator.ReroutingSimulator` trajectory for the same
-configuration *exactly* (bit for bit in practice, and certainly within
-1e-10): the engine mirrors the scalar phase/step-count arithmetic
+configuration (and, for families, the same member network) *exactly* (bit
+for bit in practice, and certainly within 1e-10): the engine mirrors the
+scalar phase/step-count arithmetic
 (:func:`~repro.core.dynamics.num_integration_steps`), uses batched kernels
 that perform the same floating-point operations row by row, and applies the
 same clip-and-rescale projection at phase boundaries.  The equivalence is
@@ -22,25 +27,34 @@ enforced by the property tests in ``tests/batch``.
 Because rows are independent, the engine advances all rows through *their
 own* phase ``k`` simultaneously even when their update periods differ — the
 rows' absolute clocks simply diverge, which is harmless.  Rows whose horizon
-is exhausted are frozen with a zero step size until the longest-running row
-finishes.
+is exhausted — or whose ``stop_when`` condition has fired — are *frozen*:
+each phase integrates only the still-active sub-batch, so converged rows
+skip all sampling, migration and latency work for the rest of the sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.dynamics import batch_stepper_for
 from ..core.policy import ReroutingPolicy
 from ..core.trajectory import PhaseRecord, Trajectory
+from ..wardrop.family import NetworkFamily
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from .board import BatchBulletinBoard
 
 Policies = Union[ReroutingPolicy, Sequence[ReroutingPolicy]]
+Networks = Union[WardropNetwork, NetworkFamily]
+
+# A vectorised stopping condition: ``stop_when(times, flows, rows)`` receives
+# the phase-end times ``(R,)``, the projected phase-end flows ``(R, P)`` and
+# the batch row indices ``(R,)`` of the currently active rows, and returns a
+# boolean mask of shape ``(R,)`` — True freezes the row after this phase.
+BatchStoppingCondition = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -97,6 +111,9 @@ class BatchResult:
     ``times[r, k]`` and ``flows[r, k]`` hold row ``r``'s ``k``-th recorded
     sample (``k = 0`` is the initial state, then one sample per completed
     phase); only the first ``num_points[r]`` slots of row ``r`` are valid.
+    ``stop_phases[r]`` is the index of the phase whose end triggered row
+    ``r``'s ``stop_when`` condition (−1 if it never fired), matching the
+    scalar simulator's early-exit phase exactly.
     """
 
     network: WardropNetwork
@@ -107,6 +124,8 @@ class BatchResult:
     times: np.ndarray
     flows: np.ndarray
     num_points: np.ndarray
+    stop_phases: Optional[np.ndarray] = None
+    family: Optional[NetworkFamily] = None
 
     @property
     def batch_size(self) -> int:
@@ -115,9 +134,21 @@ class BatchResult:
     def __len__(self) -> int:
         return self.batch_size
 
+    def row_network(self, row: int) -> WardropNetwork:
+        """Return the network row ``row`` routed on (its family member)."""
+        if self.family is not None:
+            return self.family.member(row)
+        return self.network
+
     def num_phases(self, row: int) -> int:
         """Return the number of completed bulletin-board phases of one row."""
         return int(self.num_points[row]) - 1
+
+    def stopped_rows(self) -> np.ndarray:
+        """Return the boolean mask of rows frozen by ``stop_when``."""
+        if self.stop_phases is None:
+            return np.zeros(self.batch_size, dtype=bool)
+        return self.stop_phases >= 0
 
     def final_flows(self) -> np.ndarray:
         """Return the ``(B, P)`` array of final flows, one row per replica."""
@@ -127,7 +158,9 @@ class BatchResult:
     def final_flow(self, row: int) -> FlowVector:
         """Return one row's final flow as a :class:`FlowVector`."""
         return FlowVector(
-            self.network, self.flows[row, self.num_points[row] - 1], validate=False
+            self.row_network(row),
+            self.flows[row, self.num_points[row] - 1],
+            validate=False,
         )
 
     def flow_matrix(self, row: int) -> np.ndarray:
@@ -138,18 +171,20 @@ class BatchResult:
         """Materialise one row as a scalar :class:`Trajectory`.
 
         The result has the same points, phase records and metadata as a
-        scalar simulator run of that configuration, so the whole analysis
-        toolkit (convergence counting, oscillation detection, sweep row
-        builders) applies unchanged.
+        scalar simulator run of that configuration (on the row's own family
+        member for heterogeneous batches), so the whole analysis toolkit
+        (convergence counting, oscillation detection, sweep row builders)
+        applies unchanged.
         """
+        network = self.row_network(row)
         count = int(self.num_points[row])
         trajectory = Trajectory(
-            network=self.network,
+            network=network,
             policy_name=self.policy_names[row],
             update_period=float(self.update_periods[row]) if self.stale else 0.0,
         )
         vectors = [
-            FlowVector(self.network, self.flows[row, k], validate=False)
+            FlowVector(network, self.flows[row, k], validate=False)
             for k in range(count)
         ]
         for k in range(count):
@@ -177,7 +212,10 @@ class BatchSimulator:
     Parameters
     ----------
     network:
-        The shared :class:`WardropNetwork` (all rows route on it).
+        Either the shared :class:`WardropNetwork` (all rows route on it) or a
+        :class:`~repro.wardrop.family.NetworkFamily` whose size equals the
+        batch size (row ``r`` routes on member ``r``, enabling heterogeneous
+        latency coefficients within one integration).
     policies:
         Either one :class:`ReroutingPolicy` applied to every row (the fast,
         fully vectorised path) or a sequence of ``B`` policies, one per row
@@ -187,8 +225,17 @@ class BatchSimulator:
         The :class:`BatchConfig` with per-row periods/horizons/resolutions.
     """
 
-    def __init__(self, network: WardropNetwork, policies: Policies, config: BatchConfig):
-        self.network = network
+    def __init__(self, network: Networks, policies: Policies, config: BatchConfig):
+        if isinstance(network, NetworkFamily):
+            if network.size != config.batch_size:
+                raise ValueError(
+                    f"family of {network.size} networks for a batch of {config.batch_size}"
+                )
+            self.family: Optional[NetworkFamily] = network
+            self.network = network.base
+        else:
+            self.family = None
+            self.network = network
         self.config = config
         if isinstance(policies, ReroutingPolicy):
             self._shared_policy: Optional[ReroutingPolicy] = policies
@@ -204,6 +251,12 @@ class BatchSimulator:
 
     # Initial states ---------------------------------------------------------
 
+    def _is_row_network(self, candidate: WardropNetwork, row: int) -> bool:
+        """True if ``candidate`` is a legal network for batch row ``row``."""
+        if candidate is self.network:
+            return True
+        return self.family is not None and candidate is self.family.networks[row]
+
     def _initial_flows(self, initial_flows) -> np.ndarray:
         batch = self.config.batch_size
         network = self.network
@@ -211,7 +264,7 @@ class BatchSimulator:
             uniform = FlowVector.uniform(network).values()
             return np.tile(uniform, (batch, 1))
         if isinstance(initial_flows, FlowVector):
-            if initial_flows.network is not network:
+            if not self._is_row_network(initial_flows.network, 0):
                 raise ValueError("initial flow belongs to a different network")
             return np.tile(initial_flows.values(), (batch, 1))
         if isinstance(initial_flows, np.ndarray):
@@ -225,41 +278,48 @@ class BatchSimulator:
         vectors = list(initial_flows)
         if len(vectors) != batch:
             raise ValueError(f"got {len(vectors)} initial flows for a batch of {batch}")
-        for vector in vectors:
-            if vector.network is not network:
+        for row, vector in enumerate(vectors):
+            if not self._is_row_network(vector.network, row):
                 raise ValueError("initial flow belongs to a different network")
-        return np.stack([vector.values() for vector in vectors])
+        return FlowVector.stack(vectors)
 
     # Right-hand sides -------------------------------------------------------
 
-    def _stale_rates(self, board: BatchBulletinBoard):
-        """Return a field closure for one stale phase (frozen sigma and mu).
+    def _path_latencies_rows(self, state: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Live path latencies of the active sub-batch (family-aware)."""
+        if self.family is None:
+            return self.network.path_latencies_batch(state)
+        return self.family.path_latencies_batch(state, rows)
+
+    def _stale_rates(self, board: BatchBulletinBoard, rows: np.ndarray):
+        """Return a field closure for one stale phase of the active rows.
 
         Within a phase the sampling and migration matrices depend only on the
-        posted snapshot, so they are assembled once per phase instead of once
-        per integrator stage — the values (and hence the trajectory) are
-        identical to the scalar simulator's, which recomputes them each call.
+        posted snapshot, so they are assembled once per phase (for the active
+        sub-batch only — frozen rows skip this work entirely) instead of once
+        per integrator stage; the values, and hence the trajectory, are
+        identical to the scalar simulator's.
         """
         network = self.network
+        posted_flows = board.posted_flows[rows]
+        posted_latencies = board.posted_path_latencies[rows]
         if self._shared_policy is not None:
             policy = self._shared_policy
-            sigma = policy.sampling.probabilities_batch(
-                network, board.posted_flows, board.posted_path_latencies
-            )
-            mu = policy.migration.matrix_batch(board.posted_path_latencies)
+            sigma = policy.sampling.probabilities_batch(network, posted_flows, posted_latencies)
+            mu = policy.migration.matrix_batch(posted_latencies)
         else:
             sigma = np.stack(
                 [
-                    pol.sampling.probabilities(
-                        network, board.posted_flows[r], board.posted_path_latencies[r]
+                    self._policies[row].sampling.probabilities(
+                        network, posted_flows[i], posted_latencies[i]
                     )
-                    for r, pol in enumerate(self._policies)
+                    for i, row in enumerate(rows)
                 ]
             )
             mu = np.stack(
                 [
-                    pol.migration.matrix(board.posted_path_latencies[r])
-                    for r, pol in enumerate(self._policies)
+                    self._policies[row].migration.matrix(posted_latencies[i])
+                    for i, row in enumerate(rows)
                 ]
             )
 
@@ -269,25 +329,26 @@ class BatchSimulator:
 
         return field
 
-    def _fresh_rates(self):
-        """Return the up-to-date-information field (live state every stage)."""
+    def _fresh_rates(self, rows: np.ndarray):
+        """Return the up-to-date-information field for the active rows."""
         network = self.network
         if self._shared_policy is not None:
             policy = self._shared_policy
 
             def field(_t, state: np.ndarray) -> np.ndarray:
-                live_latencies = network.path_latencies_batch(state)
+                live_latencies = self._path_latencies_rows(state, rows)
                 return policy.growth_rates_batch(network, state, state, live_latencies)
 
         else:
-            policies = self._policies
 
             def field(_t, state: np.ndarray) -> np.ndarray:
-                live_latencies = network.path_latencies_batch(state)
+                live_latencies = self._path_latencies_rows(state, rows)
                 return np.stack(
                     [
-                        pol.growth_rates(network, state[r], state[r], live_latencies[r])
-                        for r, pol in enumerate(policies)
+                        self._policies[row].growth_rates(
+                            network, state[i], state[i], live_latencies[i]
+                        )
+                        for i, row in enumerate(rows)
                     ]
                 )
 
@@ -295,12 +356,25 @@ class BatchSimulator:
 
     # Main loop --------------------------------------------------------------
 
-    def run(self, initial_flows=None) -> BatchResult:
+    def run(
+        self,
+        initial_flows=None,
+        stop_when: Optional[BatchStoppingCondition] = None,
+    ) -> BatchResult:
         """Integrate every replica to its horizon and return the batch result.
 
         ``initial_flows`` may be ``None`` (uniform split for every row), a
         single :class:`FlowVector` (shared start), a sequence of ``B`` flow
         vectors or a raw ``(B, P)`` array.
+
+        ``stop_when(times, flows, rows)`` is the vectorised per-row stopping
+        condition (see :data:`BatchStoppingCondition`), evaluated at every
+        phase boundary on the projected flows — exactly where the scalar
+        simulator evaluates its ``stop_when(time, flow)``.  Rows whose
+        condition fires are frozen: the stopping phase is still recorded
+        (matching the scalar behaviour) and the row then drops out of the
+        active sub-batch, skipping all further sampling, migration and
+        latency work; its stop phase is recorded in ``stop_phases``.
         """
         config = self.config
         network = self.network
@@ -318,50 +392,62 @@ class BatchSimulator:
         recorded = np.zeros((batch, max_phases + 1, network.num_paths))
         recorded[:, 0] = flows
         num_points = np.ones(batch, dtype=int)
+        stop_phases = np.full(batch, -1, dtype=int)
 
         board: Optional[BatchBulletinBoard] = None
         if config.stale:
-            board = BatchBulletinBoard(network, periods)
+            board = BatchBulletinBoard(self.family or network, periods)
             board.post_rows(0.0, flows)
-            field = self._stale_rates(board)
-        else:
-            field = self._fresh_rates()
 
         max_steps = periods / config.steps_per_phase
         for phase in range(max_phases):
             starts = phase * periods
             # The scalar loop stops as soon as a phase boundary reaches the
-            # horizon, so a row is active only while its phase starts early.
-            active = (phase < planned_phases) & (starts < horizons)
+            # horizon (or stop_when fires), so a row is active only while its
+            # phase starts early and it has not been frozen.
+            active = (phase < planned_phases) & (starts < horizons) & (stop_phases < 0)
             if not active.any():
                 break
+            rows = np.flatnonzero(active)
             ends = np.minimum((phase + 1) * periods, horizons)
-            durations = np.where(active, ends - starts, 0.0)
+            durations = ends[rows] - starts[rows]
 
-            if config.stale and phase > 0:
-                # Mirror the scalar board's maybe_update: floating-point
-                # effects in floor(t / T) occasionally leave a snapshot in
-                # place for one more phase, and rows must reproduce that.
-                due = board.needs_update(starts) & active
-                if due.any():
-                    board.post_rows(starts, flows, mask=due)
-                    field = self._stale_rates(board)
+            if config.stale:
+                if phase > 0:
+                    # Mirror the scalar board's maybe_update: floating-point
+                    # effects in floor(t / T) occasionally leave a snapshot in
+                    # place for one more phase, and rows must reproduce that.
+                    due = board.needs_update(starts) & active
+                    if due.any():
+                        board.post_rows(starts, flows, mask=due)
+                field = self._stale_rates(board, rows)
+            else:
+                field = self._fresh_rates(rows)
 
             # Same sub-step count as the scalar integrate(): ceil(duration/step).
-            num_steps = np.maximum(1, np.ceil(durations / max_steps)).astype(int)
+            num_steps = np.maximum(1, np.ceil(durations / max_steps[rows])).astype(int)
             step_sizes = durations / num_steps
-            state = flows
+            state = flows[rows]
+            row_starts = starts[rows]
             for k in range(int(num_steps.max())):
-                live = (k < num_steps) & active
+                live = k < num_steps
                 step = np.where(live, step_sizes, 0.0)[:, None]
-                tick = (starts + k * step_sizes)[:, None]
+                tick = (row_starts + k * step_sizes)[:, None]
                 state = stepper(field, tick, state, step)
 
             projected = FlowVector.project_batch(network, state)
-            flows = np.where(active[:, None], projected, flows)
-            times[active, phase + 1] = ends[active]
-            recorded[active, phase + 1] = flows[active]
-            num_points[active] += 1
+            flows[rows] = projected
+            times[rows, phase + 1] = ends[rows]
+            recorded[rows, phase + 1] = projected
+            num_points[rows] += 1
+
+            if stop_when is not None:
+                hit = np.asarray(stop_when(ends[rows], projected, rows), dtype=bool)
+                if hit.shape != rows.shape:
+                    raise ValueError(
+                        f"stop_when returned shape {hit.shape}, expected {rows.shape}"
+                    )
+                stop_phases[rows[hit]] = phase
 
         labels = [policy.label() for policy in self._policies]
         return BatchResult(
@@ -373,11 +459,13 @@ class BatchSimulator:
             times=times,
             flows=recorded,
             num_points=num_points,
+            stop_phases=stop_phases,
+            family=self.family,
         )
 
 
 def simulate_batch(
-    network: WardropNetwork,
+    network: Networks,
     policies: Policies,
     update_periods,
     horizons,
@@ -385,6 +473,7 @@ def simulate_batch(
     stale: bool = True,
     steps_per_phase=50,
     method: str = "rk4",
+    stop_when: Optional[BatchStoppingCondition] = None,
 ) -> BatchResult:
     """Convenience wrapper mirroring :func:`repro.core.simulator.simulate`."""
     config = BatchConfig(
@@ -394,4 +483,4 @@ def simulate_batch(
         method=method,
         stale=stale,
     )
-    return BatchSimulator(network, policies, config).run(initial_flows)
+    return BatchSimulator(network, policies, config).run(initial_flows, stop_when=stop_when)

@@ -21,6 +21,7 @@ Examples::
     python -m repro.cli solve pigou-quadratic
     python -m repro.cli simulate two-links-steep --policy replicator --period auto
     python -m repro.cli sweep braess --policy uniform --periods 0.05,0.1,0.2 --csv out.csv
+    python -m repro.cli sweep pigou-linear,pigou-quadratic --periods 0.1,0.2 --engine batch
     python -m repro.cli oscillate --beta 4 --period 0.5
 """
 
@@ -91,7 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="sweep the update period through the batched experiment runner"
     )
-    sweep.add_argument("instance", help="registered instance name")
+    sweep.add_argument(
+        "instance",
+        help="registered instance name, or a comma-separated list of names "
+        "(same-topology instances fuse into one NetworkFamily batch)",
+    )
     sweep.add_argument("--policy", choices=sorted(POLICY_BUILDERS), default="replicator")
     sweep.add_argument(
         "--periods",
@@ -115,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fresh", action="store_true", help="use up-to-date information instead")
     sweep.add_argument("--csv", default=None, help="write the result rows to this CSV file")
     sweep.add_argument("--jsonl", default=None, help="write the result rows to this JSONL file")
+    sweep.add_argument(
+        "--include-seed",
+        action="store_true",
+        help="add each case's deterministic seed as a 'seed' column",
+    )
 
     oscillate = subparsers.add_parser(
         "oscillate", help="reproduce the Section 3.2 best-response oscillation"
@@ -198,8 +208,12 @@ def _cmd_simulate(
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import ExperimentPlan, run_plan
 
-    network = get_instance(args.instance)
-    policy = POLICY_BUILDERS[args.policy](network)
+    names = [token.strip() for token in args.instance.split(",") if token.strip()]
+    if not names:
+        print("error: expected at least one instance name", file=sys.stderr)
+        return 2
+    networks = {name: get_instance(name) for name in names}
+    policies = {name: POLICY_BUILDERS[args.policy](networks[name]) for name in names}
     try:
         periods = [float(token) for token in args.periods.split(",") if token.strip()]
     except ValueError:
@@ -210,10 +224,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
 
     def build_case(params, rng):
+        name = params["instance"]
         return SweepCase(
-            parameters={"T": params["update_period"]},
-            network=network,
-            policy=policy,
+            parameters={"instance": name, "T": params["update_period"]},
+            network=networks[name],
+            policy=policies[name],
             update_period=params["update_period"],
             horizon=args.horizon,
             stale=not args.fresh,
@@ -222,7 +237,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     plan = ExperimentPlan.from_axes(
-        f"sweep-{args.instance}-{args.policy}", build_case, update_period=periods
+        f"sweep-{args.instance}-{args.policy}",
+        build_case,
+        instance=names,
+        update_period=periods,
     )
     convergence = convergence_row_builder(args.delta, args.epsilon)
 
@@ -239,6 +257,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         processes=args.processes,
         csv_path=args.csv,
         jsonl_path=args.jsonl,
+        include_seed=args.include_seed,
     )
     print_table(
         result.rows,

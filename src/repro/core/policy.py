@@ -103,6 +103,31 @@ class ReroutingPolicy:
         rho = self.migration_rates(network, current_flows, posted_flows, posted_path_latencies)
         return rho.sum(axis=0) - rho.sum(axis=1)
 
+    def frozen_growth_field(
+        self,
+        network: WardropNetwork,
+        posted_flows: np.ndarray,
+        posted_path_latencies: np.ndarray,
+    ):
+        """Return ``field(t, state)`` with sigma and mu precomputed once.
+
+        Within a stale bulletin-board phase the sampling matrix and migration
+        probabilities depend only on the posted snapshot, so they can be
+        assembled once per phase instead of once per integrator stage.  The
+        returned closure performs exactly the arithmetic of
+        :meth:`growth_rates` on the precomputed matrices, so trajectories are
+        unchanged bit for bit -- this is the scalar port of the batched
+        engine's per-phase precomputation.
+        """
+        sigma = self.sampling.probabilities(network, posted_flows, posted_path_latencies)
+        mu = self.migration.matrix(posted_path_latencies)
+
+        def field(_time: float, state: np.ndarray) -> np.ndarray:
+            rho = (state[:, None] * sigma) * mu
+            return rho.sum(axis=0) - rho.sum(axis=1)
+
+        return field
+
     def migration_rates_batch(
         self,
         network: WardropNetwork,

@@ -116,15 +116,15 @@ class ReroutingSimulator:
             phase_end = min((phase + 1) * config.update_period, config.horizon)
             start_flow = flow
             if config.stale:
-                # One frozen snapshot for the whole phase.
+                # One frozen snapshot for the whole phase: sigma and mu are
+                # precomputed once instead of once per integrator stage (the
+                # trajectory is identical bit for bit; see
+                # ReroutingPolicy.frozen_growth_field).
                 board.maybe_update(phase_start, flow.values())
                 snapshot = board.snapshot
-
-                def field(_t: float, state: np.ndarray) -> np.ndarray:
-                    return self.policy.growth_rates(
-                        network, state, snapshot.path_flows, snapshot.path_latencies
-                    )
-
+                field = self.policy.frozen_growth_field(
+                    network, snapshot.path_flows, snapshot.path_latencies
+                )
                 new_values = self._integrate_phase(
                     field, flow.values(), phase_start, phase_end, step, trajectory, phase
                 )

@@ -4,13 +4,19 @@ The runner turns a list of :class:`~repro.analysis.sweeps.SweepCase` objects
 into a :class:`~repro.analysis.sweeps.SweepResult` by choosing, per group of
 cases, the cheapest execution backend:
 
-* **batch** — cases that share a network, policy, information model and
-  integration method are fused into one vectorized
-  :class:`~repro.batch.BatchSimulator` integration (per-row update periods,
-  horizons, resolutions and initial flows), which is the fast path for the
-  paper's parameter sweeps;
-* **processes** — heterogeneous cases (different networks or policies) can be
-  fanned out over a ``multiprocessing`` pool;
+* **batch** — cases whose networks share a *topology* (identical paths,
+  edges and commodities; latency coefficients may differ) under the same
+  information model and integration method are fused into one vectorized
+  :class:`~repro.batch.BatchSimulator` integration.  Identical network
+  objects batch as before; different same-topology networks are stacked into
+  a :class:`~repro.wardrop.family.NetworkFamily`, and per-row policies,
+  update periods, horizons, resolutions and initial flows all ride along —
+  this is the fast path for the paper's coefficient sweeps;
+* **processes** — heterogeneous cases (different topologies) can be fanned
+  out over a ``multiprocessing`` pool.  With the ``fork`` start method
+  (Linux/macOS default here) workers build the result *rows* in-process and
+  return plain dicts, so big sweeps never pickle whole trajectories back to
+  the parent; without fork the runner falls back to shipping trajectories;
 * **serial** — the original one-case-at-a-time loop, always available as the
   reference backend.
 
@@ -31,24 +37,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.sweeps import RowBuilder, SweepCase, SweepResult
-from ..batch.engine import BatchConfig, BatchSimulator
+from ..batch.engine import BatchConfig, BatchSimulator, Policies
 from ..core.simulator import simulate
 from ..core.trajectory import Trajectory
+from ..wardrop.family import NetworkFamily, topology_signature
 from ..wardrop.flow import FlowVector
 from .plan import ExperimentPlan
 
-GroupKey = Tuple[int, int, bool, str]
+GroupKey = Tuple[Tuple, bool, str]
+
+Rows = List[Dict[str, object]]
 
 
 def group_key(case: SweepCase) -> GroupKey:
     """Return the batch-compatibility key of a case.
 
-    Cases batch together when they share the same network and policy objects,
-    the same information model (stale vs fresh) and the same integration
-    method; update period, horizon, steps-per-phase and initial flow may vary
+    Cases batch together when their networks share a topology
+    (:func:`~repro.wardrop.family.topology_signature`: identical paths, edges
+    and commodities — latency coefficients may differ, in which case the
+    group runs as a :class:`~repro.wardrop.family.NetworkFamily` batch), the
+    same information model (stale vs fresh) and the same integration method;
+    policy, update period, horizon, steps-per-phase and initial flow may vary
     per row.
     """
-    return (id(case.network), id(case.policy), case.stale, case.method)
+    return (topology_signature(case.network), case.stale, case.method)
 
 
 def _simulate_case(case: SweepCase) -> Trajectory:
@@ -65,10 +77,35 @@ def _simulate_case(case: SweepCase) -> Trajectory:
     )
 
 
+def _case_rows(case: SweepCase, trajectory: Trajectory, row_builder: RowBuilder) -> Rows:
+    """Build one case's result rows, merged over its echoed parameters."""
+    built = row_builder(trajectory)
+    rows = built if isinstance(built, (list, tuple)) else [built]
+    merged_rows: Rows = []
+    for row in rows:
+        merged: Dict[str, object] = dict(case.parameters)
+        merged.update(row)
+        merged_rows.append(merged)
+    return merged_rows
+
+
 def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
-    """Run one compatible group as a single batched integration."""
+    """Run one compatible group as a single batched integration.
+
+    Cases sharing one network object run on it directly; same-topology
+    cases with different networks are stacked into a
+    :class:`NetworkFamily` so heterogeneous latency coefficients integrate
+    in the same pass.
+    """
     first = cases[0]
-    network = first.network
+    networks = [case.network for case in cases]
+    if all(network is networks[0] for network in networks):
+        target = networks[0]
+    else:
+        target = NetworkFamily(networks)
+    policies: Policies = [case.policy for case in cases]
+    if all(policy is policies[0] for policy in policies):
+        policies = policies[0]
     config = BatchConfig(
         update_periods=np.array([case.update_period for case in cases], dtype=float),
         horizons=np.array([case.horizon for case in cases], dtype=float),
@@ -76,36 +113,71 @@ def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
         method=first.method,
         stale=first.stale,
     )
+    # Passed as FlowVectors (not a raw array) so the engine validates each
+    # row's flow against its own network or family member.
     initial_flows = [
-        case.initial_flow if case.initial_flow is not None else FlowVector.uniform(network)
+        case.initial_flow if case.initial_flow is not None else FlowVector.uniform(case.network)
         for case in cases
     ]
-    result = BatchSimulator(network, first.policy, config).run(initial_flows)
+    result = BatchSimulator(target, policies, config).run(initial_flows)
     return [result.trajectory(row) for row in range(len(cases))]
 
 
-def _run_pool(cases: Sequence[SweepCase], processes: int) -> List[Trajectory]:
-    """Run cases on a worker pool, preserving order; falls back to serial."""
+# Workers build result rows in-process so only plain dicts cross the pipe;
+# the row builder (often a closure, hence unpicklable) reaches them through
+# the fork-inherited pool initializer.
+_POOL_ROW_BUILDER: Optional[RowBuilder] = None
+
+
+def _pool_initializer(row_builder: RowBuilder) -> None:
+    global _POOL_ROW_BUILDER
+    _POOL_ROW_BUILDER = row_builder
+
+
+def _pool_worker(case: SweepCase) -> Rows:
+    """Simulate one case and return its finished rows (never the trajectory)."""
+    return _case_rows(case, _simulate_case(case), _POOL_ROW_BUILDER)
+
+
+def _run_pool_rows(
+    cases: Sequence[SweepCase], processes: int, row_builder: RowBuilder
+) -> List[Rows]:
+    """Build each case's rows on a worker pool, preserving order."""
     if processes <= 1 or len(cases) <= 1:
-        return [_simulate_case(case) for case in cases]
+        return [_case_rows(case, _simulate_case(case), row_builder) for case in cases]
     try:
-        # Prefer fork (cheap, shares the loaded modules); fall back to the
-        # platform default (spawn on Windows/macOS) where fork is missing.
+        # Prefer fork (cheap, shares the loaded modules, and lets workers
+        # inherit the row builder so they return plain rows).
         context = multiprocessing.get_context("fork")
     except ValueError:
+        # Without fork the workers cannot inherit an arbitrary (possibly
+        # closure) row builder; ship trajectories and build rows here.
         context = multiprocessing.get_context()
-    with context.Pool(min(processes, len(cases))) as pool:
-        return pool.map(_simulate_case, cases)
+        with context.Pool(min(processes, len(cases))) as pool:
+            trajectories = pool.map(_simulate_case, cases)
+        return [
+            _case_rows(case, trajectory, row_builder)
+            for case, trajectory in zip(cases, trajectories)
+        ]
+    with context.Pool(
+        min(processes, len(cases)),
+        initializer=_pool_initializer,
+        initargs=(row_builder,),
+    ) as pool:
+        return pool.map(_pool_worker, cases)
 
 
-def _dispatch(
-    cases: List[SweepCase], engine: str, processes: Optional[int]
-) -> List[Trajectory]:
-    """Return one trajectory per case, in case order."""
+def _dispatch_rows(
+    cases: List[SweepCase],
+    row_builder: RowBuilder,
+    engine: str,
+    processes: Optional[int],
+) -> List[Rows]:
+    """Return one list of result rows per case, in case order."""
     if engine == "serial":
-        return [_simulate_case(case) for case in cases]
+        return [_case_rows(case, _simulate_case(case), row_builder) for case in cases]
     if engine == "processes":
-        return _run_pool(cases, processes or os.cpu_count() or 1)
+        return _run_pool_rows(cases, processes or os.cpu_count() or 1, row_builder)
     if engine not in ("auto", "batch"):
         raise ValueError(
             f"unknown engine {engine!r}; use 'auto', 'batch', 'processes' or 'serial'"
@@ -115,25 +187,28 @@ def _dispatch(
     for index, case in enumerate(cases):
         groups.setdefault(group_key(case), []).append(index)
 
-    trajectories: List[Optional[Trajectory]] = [None] * len(cases)
+    rows_per_case: List[Optional[Rows]] = [None] * len(cases)
     leftovers: List[int] = []
     for indices in groups.values():
         if engine == "batch" or len(indices) > 1:
             for index, trajectory in zip(
                 indices, _run_batch_group([cases[i] for i in indices])
             ):
-                trajectories[index] = trajectory
+                rows_per_case[index] = _case_rows(cases[index], trajectory, row_builder)
         else:
             leftovers.extend(indices)
     if leftovers:
         leftovers.sort()
         if processes and processes > 1:
-            results = _run_pool([cases[i] for i in leftovers], processes)
+            results = _run_pool_rows([cases[i] for i in leftovers], processes, row_builder)
         else:
-            results = [_simulate_case(cases[i]) for i in leftovers]
-        for index, trajectory in zip(leftovers, results):
-            trajectories[index] = trajectory
-    return trajectories  # type: ignore[return-value]
+            results = [
+                _case_rows(cases[i], _simulate_case(cases[i]), row_builder)
+                for i in leftovers
+            ]
+        for index, rows in zip(leftovers, results):
+            rows_per_case[index] = rows
+    return rows_per_case  # type: ignore[return-value]
 
 
 def run_cases(
@@ -149,15 +224,10 @@ def run_cases(
     merged over the case's echoed ``parameters``.
     """
     cases = list(cases)
-    trajectories = _dispatch(cases, engine, processes)
     result = SweepResult()
-    for case, trajectory in zip(cases, trajectories):
-        built = row_builder(trajectory)
-        rows = built if isinstance(built, (list, tuple)) else [built]
+    for rows in _dispatch_rows(cases, row_builder, engine, processes):
         for row in rows:
-            merged: Dict[str, object] = dict(case.parameters)
-            merged.update(row)
-            result.append(merged)
+            result.append(row)
     return result
 
 

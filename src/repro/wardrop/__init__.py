@@ -15,6 +15,7 @@ from .latency import (
     BPRLatency,
     ConstantLatency,
     LatencyFunction,
+    LatencyStack,
     LinearLatency,
     MM1Latency,
     MonomialLatency,
@@ -24,6 +25,7 @@ from .latency import (
     SumLatency,
     ThresholdLatency,
 )
+from .family import NetworkFamily, topology_signature
 from .network import LATENCY_ATTR, WardropNetwork
 from .paths import Path, PathSet, build_path_set, enumerate_commodity_paths
 from .potential import (
@@ -66,10 +68,12 @@ __all__ = [
     "InstanceValidationError",
     "LATENCY_ATTR",
     "LatencyFunction",
+    "LatencyStack",
     "LinearLatency",
     "MM1Latency",
     "MarginalCostLatency",
     "MonomialLatency",
+    "NetworkFamily",
     "Path",
     "PathSet",
     "PiecewiseLinearLatency",
@@ -101,6 +105,7 @@ __all__ = [
     "report",
     "social_cost",
     "support",
+    "topology_signature",
     "total_demand",
     "unsatisfied_volume",
     "validate_network",

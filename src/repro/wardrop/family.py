@@ -1,0 +1,189 @@
+"""Families of Wardrop networks sharing one topology.
+
+The paper's headline sweeps run the same dynamics over *families* of
+instances -- Pigou, Braess or parallel-link networks whose latency
+coefficients vary while the graph, path sets and commodities stay fixed.  A
+:class:`NetworkFamily` stacks ``B`` such networks so the batched simulation
+engine can integrate one replica per member as a single ``(B, P)`` ensemble:
+geometry (edge/path incidence, projections) is shared through the base
+network, while latency evaluation uses per-edge
+:class:`~repro.wardrop.latency.LatencyStack` objects that apply each
+member's coefficients to its own row.
+
+``topology_signature`` is the grouping key used by the experiment runner:
+cases whose networks share a signature can always be fused into one family
+batch (the constructor re-validates, so a signature collision can never
+produce silently wrong results).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .latency import LatencyStack
+from .network import WardropNetwork
+
+
+def topology_signature(network: WardropNetwork) -> Tuple:
+    """Return a hashable key identifying a network's batching class.
+
+    Two networks with equal signatures have identical node/edge structure,
+    path sets and commodities (sources, sinks and demands) and therefore
+    identical incidence matrices -- only their latency functions may differ,
+    which is exactly the degree of freedom :class:`NetworkFamily` stacks.
+    """
+    return (
+        tuple(network.paths.describe()),
+        tuple(network.edges),
+        tuple(
+            (commodity.source, commodity.sink, float(commodity.demand))
+            for commodity in network.commodities
+        ),
+    )
+
+
+class NetworkFamily:
+    """``B`` same-topology networks with stacked latency coefficients.
+
+    Parameters
+    ----------
+    networks:
+        The family members.  All must share the topology of the first
+        (validated via :func:`topology_signature` and the incidence matrix);
+        latency functions may differ per member.
+
+    The family exposes the same batched evaluation methods as a single
+    :class:`WardropNetwork` (``edge_flows_batch``, ``edge_latencies_batch``,
+    ``path_latencies_batch``, ...), with row ``b`` evaluated against member
+    ``b``'s latency functions.  The optional ``rows`` argument restricts an
+    evaluation to a subset of members -- the batched engine uses it so frozen
+    (converged or horizon-exhausted) rows skip latency work.
+    """
+
+    def __init__(self, networks: Sequence[WardropNetwork]):
+        networks = list(networks)
+        if not networks:
+            raise ValueError("a network family needs at least one member")
+        base = networks[0]
+        signature = topology_signature(base)
+        for index, network in enumerate(networks[1:], start=1):
+            if topology_signature(network) != signature:
+                raise ValueError(
+                    f"family member {index} has a different topology than member 0"
+                )
+            if not np.array_equal(network.incidence, base.incidence):
+                raise ValueError(
+                    f"family member {index} has a different incidence matrix than member 0"
+                )
+        self.networks: List[WardropNetwork] = networks
+        self.base = base
+        self._stacks = [
+            LatencyStack([network.latency_function(edge) for network in networks])
+            for edge in base.edges
+        ]
+
+    # Construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_builder(
+        cls,
+        builder: Callable[..., WardropNetwork],
+        parameter_grid: Sequence[Mapping[str, object]],
+    ) -> "NetworkFamily":
+        """Build a family by calling ``builder(**params)`` per grid entry.
+
+        E.g. ``NetworkFamily.from_builder(pigou_network,
+        [{"degree": 1, "constant": c} for c in constants])`` builds a Pigou
+        coefficient sweep.
+        """
+        return cls([builder(**dict(params)) for params in parameter_grid])
+
+    @classmethod
+    def replicate(cls, network: WardropNetwork, count: int) -> "NetworkFamily":
+        """Return a family of ``count`` references to one shared network."""
+        if count < 1:
+            raise ValueError("a family needs at least one member")
+        return cls([network] * count)
+
+    # Structure ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.networks)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def member(self, row: int) -> WardropNetwork:
+        """Return family member ``row``'s network."""
+        return self.networks[row]
+
+    @property
+    def num_paths(self) -> int:
+        return self.base.num_paths
+
+    @property
+    def num_edges(self) -> int:
+        return self.base.num_edges
+
+    @property
+    def num_commodities(self) -> int:
+        return self.base.num_commodities
+
+    @property
+    def incidence(self) -> np.ndarray:
+        return self.base.incidence
+
+    @property
+    def vectorised(self) -> bool:
+        """True if every edge's stack avoids the per-row Python loop."""
+        return all(stack.vectorised for stack in self._stacks)
+
+    # Theory constants over the family --------------------------------------
+
+    def max_latency(self) -> float:
+        """Return ``max_b l_max(network_b)``, a family-wide latency bound."""
+        return max(network.max_latency() for network in self.networks)
+
+    def max_slope(self) -> float:
+        """Return ``max_b beta(network_b)``, a family-wide slope bound."""
+        return max(network.max_slope() for network in self.networks)
+
+    # Batched evaluation ----------------------------------------------------
+
+    def edge_flows_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        """Aggregate ``(R, P)`` path flows to ``(R, E)`` edge flows (shared topology)."""
+        return self.base.edge_flows_batch(path_flows)
+
+    def edge_latencies_batch(
+        self, edge_flows: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Evaluate members' edge latencies on ``(R, E)`` edge flows.
+
+        Row ``i`` is evaluated with member ``rows[i]``'s latency functions
+        (``rows`` defaults to ``0..B-1``, requiring ``R == B``).
+        """
+        edge_flows = np.asarray(edge_flows, dtype=float)
+        result = np.empty_like(edge_flows)
+        for index, stack in enumerate(self._stacks):
+            result[:, index] = stack.values(edge_flows[:, index], rows)
+        return result
+
+    def path_latencies_batch(
+        self, path_flows: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Return ``(R, P)`` path latencies of ``(R, P)`` flows, per member row."""
+        edge_latencies = self.edge_latencies_batch(self.edge_flows_batch(path_flows), rows)
+        return self.base.path_latencies_from_edge_latencies_batch(edge_latencies)
+
+    def path_latencies_from_edge_latencies_batch(self, edge_latencies: np.ndarray) -> np.ndarray:
+        """Return ``(R, P)`` path latencies from posted ``(R, E)`` edge latencies."""
+        return self.base.path_latencies_from_edge_latencies_batch(edge_latencies)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkFamily(size={self.size}, paths={self.num_paths}, "
+            f"edges={self.num_edges}, vectorised={self.vectorised})"
+        )

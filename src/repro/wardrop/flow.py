@@ -133,6 +133,23 @@ class FlowVector:
         return FlowVector(self.network, flows)
 
     @staticmethod
+    def stack(vectors: Sequence["FlowVector"]) -> np.ndarray:
+        """Stack flow vectors into a ``(B, P)`` array for the batched engine.
+
+        The vectors may live on different same-topology networks (a family
+        sweep); only their lengths must agree.  Network membership is the
+        caller's contract -- the batched engine validates rows against its
+        network or family members.
+        """
+        vectors = list(vectors)
+        if not vectors:
+            raise ValueError("cannot stack an empty list of flow vectors")
+        length = len(vectors[0])
+        if any(len(vector) != length for vector in vectors):
+            raise ValueError("cannot stack flow vectors of different lengths")
+        return np.stack([vector.values() for vector in vectors])
+
+    @staticmethod
     def project_batch(network: WardropNetwork, path_flows: np.ndarray) -> np.ndarray:
         """Row-wise :meth:`projected` on a ``(B, P)`` batch of raw flow arrays.
 

@@ -23,9 +23,28 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
+
+# A stacked evaluator maps ``(x, rows)`` -- the flows ``x[i]`` and the family
+# member indices ``rows[i]`` -- to the latencies ``functions[rows[i]](x[i])``.
+StackedEvaluator = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _int_power(x: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+    """Return ``x ** exponents`` with per-element integer exponents.
+
+    ``x ** int64_array`` takes numpy's repeated-multiplication fast path,
+    which differs from the libm pow used for scalar ``float ** int`` by an
+    ulp; grouping by exponent and raising to a Python int keeps stacked
+    evaluation bit-identical to the scalar path.
+    """
+    result = np.empty_like(x)
+    for exponent in np.unique(exponents):
+        selected = exponents == exponent
+        result[selected] = x[selected] ** int(exponent)
+    return result
 
 
 class LatencyFunction(ABC):
@@ -71,6 +90,21 @@ class LatencyFunction(ABC):
         """
         x = np.asarray(x, dtype=float)
         return np.array([self.value(float(v)) for v in x.ravel()]).reshape(x.shape)
+
+    @classmethod
+    def stacked_evaluator(cls, functions: Sequence["LatencyFunction"]) -> Optional[StackedEvaluator]:
+        """Return a coefficient-stacked evaluator for same-type functions.
+
+        ``functions`` holds one instance of ``cls`` per family member.  The
+        returned callable ``evaluate(x, rows)`` computes
+        ``functions[rows[i]].value(x[i])`` for a whole batch at once by
+        stacking the functions' coefficients into arrays, performing the same
+        floating-point operations as the scalar :meth:`value` so that
+        family-batched and per-row scalar runs agree bit for bit.  Classes
+        without a stacked form return ``None`` and callers fall back to a
+        per-row loop (see :class:`LatencyStack`).
+        """
+        return None
 
     def __call__(self, x: float) -> float:
         return self.value(x)
@@ -128,6 +162,15 @@ class ConstantLatency(LatencyFunction):
     def value_array(self, x: np.ndarray) -> np.ndarray:
         return np.full(np.shape(x), self.constant, dtype=float)
 
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        constants = np.array([f.constant for f in functions])
+
+        def evaluate(x, rows):
+            return constants[rows].copy()
+
+        return evaluate
+
     def __repr__(self) -> str:
         return f"ConstantLatency({self.constant})"
 
@@ -154,6 +197,15 @@ class LinearLatency(LatencyFunction):
 
     def value_array(self, x: np.ndarray) -> np.ndarray:
         return self.coefficient * np.asarray(x, dtype=float)
+
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        coefficients = np.array([f.coefficient for f in functions])
+
+        def evaluate(x, rows):
+            return coefficients[rows] * np.asarray(x, dtype=float)
+
+        return evaluate
 
     def __repr__(self) -> str:
         return f"LinearLatency({self.coefficient})"
@@ -182,6 +234,16 @@ class AffineLatency(LatencyFunction):
 
     def value_array(self, x: np.ndarray) -> np.ndarray:
         return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        slopes = np.array([f.slope for f in functions])
+        intercepts = np.array([f.intercept for f in functions])
+
+        def evaluate(x, rows):
+            return slopes[rows] * np.asarray(x, dtype=float) + intercepts[rows]
+
+        return evaluate
 
     def __repr__(self) -> str:
         return f"AffineLatency(slope={self.slope}, intercept={self.intercept})"
@@ -242,6 +304,24 @@ class PolynomialLatency(LatencyFunction):
             power *= x
         return total
 
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        if len({len(f.coefficients) for f in functions}) != 1:
+            return None
+        coefficients = np.array([f.coefficients for f in functions])
+
+        def evaluate(x, rows):
+            x = np.asarray(x, dtype=float)
+            # Same accumulation order as `value` / `value_array`.
+            total = np.zeros_like(x)
+            power = np.ones_like(x)
+            for degree in range(coefficients.shape[1]):
+                total += coefficients[rows, degree] * power
+                power *= x
+            return total
+
+        return evaluate
+
     def __repr__(self) -> str:
         return f"PolynomialLatency({self.coefficients})"
 
@@ -271,6 +351,23 @@ class MonomialLatency(LatencyFunction):
 
     def value_array(self, x: np.ndarray) -> np.ndarray:
         return self.coefficient * np.asarray(x, dtype=float) ** self.degree
+
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        coefficients = np.array([f.coefficient for f in functions])
+        degrees = np.array([f.degree for f in functions])
+        if (degrees == degrees[0]).all():
+            degree = int(degrees[0])
+
+            def evaluate(x, rows):
+                return coefficients[rows] * np.asarray(x, dtype=float) ** degree
+
+        else:
+
+            def evaluate(x, rows):
+                return coefficients[rows] * _int_power(np.asarray(x, dtype=float), degrees[rows])
+
+        return evaluate
 
     def __repr__(self) -> str:
         return f"MonomialLatency({self.coefficient}, degree={self.degree})"
@@ -315,6 +412,30 @@ class BPRLatency(LatencyFunction):
     def value_array(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         return self.free_flow_time * (1.0 + self.alpha * (x / self.capacity) ** self.beta)
+
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        free_flow_times = np.array([f.free_flow_time for f in functions])
+        capacities = np.array([f.capacity for f in functions])
+        alphas = np.array([f.alpha for f in functions])
+        betas = np.array([f.beta for f in functions])
+        if (betas == betas[0]).all():
+            exponent = int(betas[0])
+
+            def evaluate(x, rows):
+                x = np.asarray(x, dtype=float)
+                return free_flow_times[rows] * (
+                    1.0 + alphas[rows] * (x / capacities[rows]) ** exponent
+                )
+
+        else:
+
+            def evaluate(x, rows):
+                x = np.asarray(x, dtype=float)
+                powered = _int_power(x / capacities[rows], betas[rows])
+                return free_flow_times[rows] * (1.0 + alphas[rows] * powered)
+
+        return evaluate
 
     def __repr__(self) -> str:
         return (
@@ -372,6 +493,23 @@ class MM1Latency(LatencyFunction):
             queueing = 1.0 / (self.capacity - x)
         linear = self._cap_value + self._cap_slope * (x - self.cap)
         return np.where(x <= self.cap, queueing, linear)
+
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        capacities = np.array([f.capacity for f in functions])
+        caps = np.array([f.cap for f in functions])
+        cap_values = np.array([f._cap_value for f in functions])
+        cap_slopes = np.array([f._cap_slope for f in functions])
+
+        def evaluate(x, rows):
+            x = np.asarray(x, dtype=float)
+            cap = caps[rows]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                queueing = 1.0 / (capacities[rows] - x)
+            linear = cap_values[rows] + cap_slopes[rows] * (x - cap)
+            return np.where(x <= cap, queueing, linear)
+
+        return evaluate
 
     def __repr__(self) -> str:
         return f"MM1Latency(capacity={self.capacity}, cap={self.cap})"
@@ -458,6 +596,28 @@ class PiecewiseLinearLatency(LatencyFunction):
         slopes = (ys[idx + 1] - ys[idx]) / (xs[idx + 1] - xs[idx])
         return ys[idx] + slopes * (x - xs[idx])
 
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        # The rows may differ in their y-coordinates (e.g. a beta sweep of the
+        # oscillation latency) but must share breakpoint x-coordinates so one
+        # searchsorted locates every row's segment.
+        xs = np.asarray(functions[0].xs)
+        if any(
+            len(f.xs) != len(xs) or not np.array_equal(np.asarray(f.xs), xs)
+            for f in functions[1:]
+        ):
+            return None
+        ys = np.array([f.ys for f in functions])
+
+        def evaluate(x, rows):
+            x = np.asarray(x, dtype=float)
+            idx = np.clip(np.searchsorted(xs, x, side="right") - 1, 0, len(xs) - 2)
+            y_lo = ys[rows, idx]
+            slopes = (ys[rows, idx + 1] - y_lo) / (xs[idx + 1] - xs[idx])
+            return y_lo + slopes * (x - xs[idx])
+
+        return evaluate
+
     def __repr__(self) -> str:
         points = list(zip(self.xs, self.ys))
         return f"PiecewiseLinearLatency({points})"
@@ -510,6 +670,16 @@ class ScaledLatency(LatencyFunction):
     def value_array(self, x: np.ndarray) -> np.ndarray:
         return self.factor * self.base.value_array(x)
 
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        factors = np.array([f.factor for f in functions])
+        base_stack = LatencyStack([f.base for f in functions])
+
+        def evaluate(x, rows):
+            return factors[rows] * base_stack.values(x, rows)
+
+        return evaluate
+
     def __repr__(self) -> str:
         return f"ScaledLatency({self.base!r}, {self.factor})"
 
@@ -541,5 +711,81 @@ class SumLatency(LatencyFunction):
             total = total + part.value_array(x)
         return total
 
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        if len({len(f.parts) for f in functions}) != 1:
+            return None
+        part_stacks = [
+            LatencyStack([f.parts[k] for f in functions])
+            for k in range(len(functions[0].parts))
+        ]
+
+        def evaluate(x, rows):
+            total = part_stacks[0].values(x, rows)
+            for stack in part_stacks[1:]:
+                total = total + stack.values(x, rows)
+            return total
+
+        return evaluate
+
     def __repr__(self) -> str:
         return f"SumLatency({self.parts!r})"
+
+
+class LatencyStack:
+    """One edge's latency functions across a family, evaluated in one shot.
+
+    ``functions[b]`` is the edge's latency function in family member ``b``.
+    :meth:`values` evaluates member ``rows[i]``'s function at flow ``x[i]``
+    for a whole batch at once, choosing the fastest correct tier:
+
+    1. a single shared function object uses its vectorised
+       :meth:`~LatencyFunction.value_array`,
+    2. same-type functions use the class's coefficient-stacked evaluator
+       (:meth:`~LatencyFunction.stacked_evaluator`), which performs the same
+       floating-point operations as the scalar path,
+    3. anything else falls back to a per-row scalar loop, which is slow but
+       always correct (mixed function types per edge keep working).
+
+    This is the kernel behind :class:`~repro.wardrop.family.NetworkFamily`:
+    a family sweep stacks every edge's coefficients once at construction and
+    then evaluates heterogeneous latencies with plain array arithmetic.
+    """
+
+    def __init__(self, functions: Sequence[LatencyFunction]):
+        self.functions = list(functions)
+        if not self.functions:
+            raise ValueError("a latency stack needs at least one function")
+        first = self.functions[0]
+        self.shared = all(f is first for f in self.functions)
+        self._evaluator: Optional[StackedEvaluator] = None
+        if not self.shared and all(type(f) is type(first) for f in self.functions):
+            self._evaluator = type(first).stacked_evaluator(self.functions)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    @property
+    def vectorised(self) -> bool:
+        """True if evaluation avoids the per-row Python loop."""
+        return self.shared or self._evaluator is not None
+
+    def values(self, x: np.ndarray, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return ``functions[rows[i]].value(x[i])`` for every ``i``.
+
+        ``rows`` defaults to ``0..B-1`` (one evaluation per member, in order);
+        the batched engine passes the indices of the currently active rows so
+        frozen rows skip latency work entirely.
+        """
+        x = np.asarray(x, dtype=float)
+        if rows is None:
+            rows = np.arange(len(self.functions))
+        if self.shared:
+            return self.functions[0].value_array(x)
+        if self._evaluator is not None:
+            return self._evaluator(x, rows)
+        return np.array([self.functions[r].value(v) for r, v in zip(rows, x)])
+
+    def __repr__(self) -> str:
+        kinds = {type(f).__name__ for f in self.functions}
+        return f"LatencyStack({len(self.functions)} functions, kinds={sorted(kinds)})"

@@ -12,7 +12,9 @@ from repro.core import (
     simulate,
     uniform_policy,
 )
-from repro.instances import lopsided_flow, two_link_network
+from repro.core.bulletin import BulletinBoard
+from repro.core.dynamics import integrate, integration_step_for
+from repro.instances import braess_network, lopsided_flow, pigou_network, two_link_network
 from repro.wardrop import FlowVector, equilibrium_violation, potential
 
 
@@ -127,3 +129,60 @@ class TestConvergenceBehaviour:
         euler = simulate(two_links, policy, method="euler", **kwargs)
         rk4 = simulate(two_links, policy, method="rk4", **kwargs)
         assert np.allclose(euler.final_flow.values(), rk4.final_flow.values(), atol=1e-4)
+
+
+def reference_stale_run(network, policy, update_period, horizon, steps_per_phase, method, start):
+    """The pre-precomputation stale loop: sigma/mu recomputed every stage.
+
+    This replicates the simulator's original per-stage field --
+    ``policy.growth_rates`` evaluated afresh at every integrator call -- so
+    the regression test below can assert the per-phase sigma/mu
+    precomputation left trajectories bit-identical.
+    """
+    board = BulletinBoard(network, update_period)
+    step = integration_step_for(update_period, steps_per_phase)
+    flow = start
+    board.post(0.0, flow.values())
+    boundary_flows = [flow.values()]
+    num_phases = int(np.ceil(horizon / update_period))
+    for phase in range(num_phases):
+        phase_start = phase * update_period
+        phase_end = min((phase + 1) * update_period, horizon)
+        board.maybe_update(phase_start, flow.values())
+        snapshot = board.snapshot
+
+        def field(_t, state):
+            return policy.growth_rates(
+                network, state, snapshot.path_flows, snapshot.path_latencies
+            )
+
+        new_values = integrate(field, flow.values(), phase_start, phase_end, step, method)
+        flow = FlowVector(network, new_values, validate=False).projected()
+        boundary_flows.append(flow.values())
+        if phase_end >= horizon:
+            break
+    return np.stack(boundary_flows)
+
+
+class TestStalePhasePrecompute:
+    """Regression for the sigma/mu per-phase precomputation port (ROADMAP item)."""
+
+    @pytest.mark.parametrize("method", ["euler", "rk4"])
+    def test_trajectories_identical_to_per_stage_recomputation(self, method):
+        cases = [
+            (pigou_network(degree=2), "replicator"),
+            (braess_network(), "uniform"),
+            (two_link_network(beta=4.0), "uniform"),
+        ]
+        for network, kind in cases:
+            policy = (replicator_policy if kind == "replicator" else uniform_policy)(network)
+            rng = np.random.default_rng(13)
+            start = FlowVector.random(network, rng)
+            trajectory = simulate(
+                network, policy, update_period=0.15, horizon=1.0,
+                initial_flow=start, steps_per_phase=7, method=method,
+            )
+            expected = reference_stale_run(
+                network, policy, 0.15, 1.0, 7, method, start
+            )
+            np.testing.assert_array_equal(trajectory.flow_matrix(), expected)

@@ -14,6 +14,7 @@ from repro.analysis import SweepCase, SweepResult, convergence_row_builder, run_
 from repro.cli import build_parser, main
 from repro.core import replicator_policy, scaled_policy, simulate, uniform_policy
 from repro.experiments import ExperimentPlan, case_seed, group_key, run_cases, run_plan
+from repro.experiments.runner import _case_rows, _run_pool_rows, _simulate_case
 from repro.instances import braess_network, pigou_network
 from repro.wardrop import FlowVector
 
@@ -120,6 +121,47 @@ class TestRunner:
         assert result.column("delta") == [0.1, 0.2, 0.1, 0.2]
         assert result.rows[0]["case"] == 0 and result.rows[2]["case"] == 1
 
+    def test_same_topology_different_networks_fuse_into_family_batch(self):
+        """Pigou variants with different coefficients share one batch group."""
+        networks = [pigou_network(degree=d, constant=c) for d, c in [(1, 1.0), (2, 0.8), (1, 1.3)]]
+        cases = [
+            SweepCase(
+                {"case": i}, network, replicator_policy(network), 0.1 + 0.05 * i, 1.0,
+                steps_per_phase=5,
+            )
+            for i, network in enumerate(networks)
+        ]
+        assert len({group_key(case) for case in cases}) == 1
+        batched = run_cases(cases, convergence_row_builder(0.2, 0.1), engine="batch").rows
+        serial = run_cases(cases, convergence_row_builder(0.2, 0.1), engine="serial").rows
+        assert batched == serial
+
+    def test_family_rows_use_member_networks(self):
+        """Row builders must see each case's own network on the family path."""
+        networks = [pigou_network(degree=1, constant=c) for c in (0.7, 1.2)]
+        cases = [
+            SweepCase({"case": i}, network, scaled_policy(1.0), 0.2, 0.6, steps_per_phase=4)
+            for i, network in enumerate(networks)
+        ]
+        result = run_cases(
+            cases, lambda t: {"network_id": id(t.network)}, engine="batch"
+        )
+        assert result.column("network_id") == [id(n) for n in networks]
+
+    def test_batch_rejects_initial_flow_from_foreign_network(self):
+        """The engine's per-row network validation must survive batching."""
+        networks = [pigou_network(degree=1, constant=c) for c in (0.7, 1.2)]
+        foreign = FlowVector.uniform(pigou_network(degree=1, constant=0.9))
+        cases = [
+            SweepCase(
+                {"case": i}, network, scaled_policy(1.0), 0.2, 0.6,
+                initial_flow=foreign if i == 0 else None, steps_per_phase=4,
+            )
+            for i, network in enumerate(networks)
+        ]
+        with pytest.raises(ValueError, match="different network"):
+            run_cases(cases, lambda t: {}, engine="batch")
+
     def test_method_field_threads_through_sweep(self):
         """SweepCase.method must reach the integrator (satellite regression)."""
         network = pigou_network(degree=1)
@@ -142,6 +184,38 @@ class TestRunner:
             steps_per_phase=2, method="euler",
         )
         assert euler_row["final"] == expected.final_flow.values().tolist()
+
+
+class TestPoolRowBuilding:
+    """The processes backend builds result rows inside the workers (ROADMAP
+    item): only plain row dicts cross the pipe, never whole trajectories."""
+
+    def test_case_rows_merge_parameters(self):
+        case = mixed_cases()[0]
+        trajectory = _simulate_case(case)
+        rows = _case_rows(case, trajectory, lambda t: {"phases": len(t.phases)})
+        assert rows == [{"case": 0, "phases": len(trajectory.phases)}]
+        multi = _case_rows(case, trajectory, lambda t: [{"k": 1}, {"k": 2}])
+        assert multi == [{"case": 0, "k": 1}, {"case": 0, "k": 2}]
+
+    def test_pool_rows_match_serial_rows(self):
+        cases = mixed_cases()
+        builder = convergence_row_builder(0.2, 0.1)
+        pooled = _run_pool_rows(cases, 2, builder)
+        serial = [_case_rows(case, _simulate_case(case), builder) for case in cases]
+        assert pooled == serial
+
+    def test_processes_engine_supports_closure_multi_row_builders(self):
+        """Closures are unpicklable; workers must inherit them via fork."""
+        deltas = (0.1, 0.2)
+
+        def rows_per_delta(trajectory):
+            return [{"delta": delta, "phases": len(trajectory.phases)} for delta in deltas]
+
+        pooled = run_cases(mixed_cases(), rows_per_delta, engine="processes", processes=2).rows
+        serial = run_cases(mixed_cases(), rows_per_delta, engine="serial").rows
+        assert pooled == serial
+        assert len(pooled) == 2 * len(mixed_cases())
 
 
 class TestPersistence:
@@ -211,6 +285,52 @@ class TestSweepCli:
         rows = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
         assert len(rows) == 2
         assert {row["T"] for row in rows} == {0.1, 0.2}
+
+    def test_sweep_end_to_end_artifacts_parse_with_cases_and_seeds(self, tmp_path, capsys):
+        """`repro sweep` artifacts must round-trip and carry the expected
+        case grid and deterministic seeds (satellite regression)."""
+        csv_path = tmp_path / "sweep.csv"
+        jsonl_path = tmp_path / "sweep.jsonl"
+        periods = [0.1, 0.2]
+        code = main(
+            ["sweep", "pigou-linear", "--policy", "replicator",
+             "--periods", "0.1,0.2", "--horizon", "1", "--engine", "batch",
+             "--include-seed", "--csv", str(csv_path), "--jsonl", str(jsonl_path)]
+        )
+        assert code == 0
+        loaded_jsonl = SweepResult.from_jsonl(jsonl_path)
+        loaded_csv = SweepResult.from_csv(csv_path)
+        assert len(loaded_jsonl) == len(loaded_csv) == len(periods)
+        # JSONL preserves types; CSV comes back as strings of the same values.
+        assert loaded_jsonl.column("T") == periods
+        assert [float(value) for value in loaded_csv.column("T")] == periods
+        for row in loaded_jsonl.rows:
+            assert {"instance", "T", "seed", "phases", "bad_phases"} <= set(row)
+            assert row["instance"] == "pigou-linear"
+        # The seeds are the deterministic per-case seeds of the CLI's plan.
+        grid = [{"instance": "pigou-linear", "update_period": period} for period in periods]
+        expected_seeds = [case_seed(0, i, params) for i, params in enumerate(grid)]
+        assert loaded_jsonl.column("seed") == expected_seeds
+        assert [int(value) for value in loaded_csv.column("seed")] == expected_seeds
+
+    def test_sweep_fuses_multiple_same_topology_instances(self, tmp_path, capsys):
+        jsonl_path = tmp_path / "family.jsonl"
+        code = main(
+            ["sweep", "pigou-linear,pigou-quadratic", "--policy", "uniform",
+             "--periods", "0.1", "--horizon", "1", "--engine", "batch",
+             "--jsonl", str(jsonl_path)]
+        )
+        assert code == 0
+        rows = SweepResult.from_jsonl(jsonl_path).rows
+        assert [row["instance"] for row in rows] == ["pigou-linear", "pigou-quadratic"]
+        # The family batch must agree with independent serial scalar runs.
+        serial_path = tmp_path / "family-serial.jsonl"
+        assert main(
+            ["sweep", "pigou-linear,pigou-quadratic", "--policy", "uniform",
+             "--periods", "0.1", "--horizon", "1", "--engine", "serial",
+             "--jsonl", str(serial_path)]
+        ) == 0
+        assert rows == SweepResult.from_jsonl(serial_path).rows
 
     def test_sweep_rejects_bad_periods(self, capsys):
         assert main(["sweep", "braess", "--periods", "0.1,-0.2"]) == 2

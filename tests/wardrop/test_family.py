@@ -1,0 +1,197 @@
+"""Unit tests for coefficient-stacked latency evaluation (LatencyStack) and
+same-topology network families (NetworkFamily, topology_signature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instances import braess_network, pigou_network, two_link_network
+from repro.wardrop import FlowVector, LatencyStack, NetworkFamily, topology_signature
+from repro.wardrop.latency import (
+    AffineLatency,
+    BPRLatency,
+    ConstantLatency,
+    LatencyFunction,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PiecewiseLinearLatency,
+    PolynomialLatency,
+    SumLatency,
+    ThresholdLatency,
+)
+
+SAMPLES = np.array([0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+
+# One stack of four same-type, different-coefficient functions per class.
+STACKS = [
+    [ConstantLatency(c) for c in (0.5, 1.0, 1.5, 2.5)],
+    [LinearLatency(a) for a in (0.5, 1.0, 2.0, 3.5)],
+    [AffineLatency(a, b) for a, b in ((0.5, 0.1), (1.0, 0.0), (2.0, 0.7), (0.1, 1.3))],
+    [PolynomialLatency(c) for c in ([0.5, 0.0, 2.0], [1.0, 1.0, 1.0], [0.0, 2.0, 0.5], [0.3, 0.1, 0.0])],
+    [MonomialLatency(a, d) for a, d in ((0.5, 1), (1.5, 2), (2.0, 3), (1.0, 2))],
+    [MonomialLatency(a, 2) for a in (0.5, 1.0, 1.5, 2.0)],
+    [BPRLatency(t, c) for t, c in ((1.0, 0.8), (0.5, 1.2), (2.0, 0.9), (1.5, 1.1))],
+    [BPRLatency(1.0, 0.9, beta=b) for b in (1, 2, 4, 3)],
+    [MM1Latency(c) for c in (1.3, 1.5, 2.0, 3.0)],
+    [ThresholdLatency(beta=b) for b in (1.0, 2.0, 4.0, 8.0)],
+    [
+        PiecewiseLinearLatency([(0.0, y0), (0.4, y1), (1.0, y2)])
+        for y0, y1, y2 in ((0.0, 0.1, 2.0), (0.1, 0.1, 1.0), (0.0, 0.5, 0.5), (0.2, 0.3, 0.4))
+    ],
+    [LinearLatency(a).scaled(s) for a, s in ((1.0, 0.5), (2.0, 0.25), (0.5, 2.0), (1.5, 1.0))],
+    [
+        SumLatency([LinearLatency(a), ConstantLatency(b)])
+        for a, b in ((1.0, 0.3), (2.0, 0.0), (0.5, 1.0), (0.1, 0.7))
+    ],
+]
+
+
+def stack_id(functions):
+    return type(functions[0]).__name__
+
+
+class TestLatencyStack:
+    @pytest.mark.parametrize("functions", STACKS, ids=stack_id)
+    def test_stacked_values_match_scalar_exactly(self, functions):
+        stack = LatencyStack(functions)
+        assert stack.vectorised, "built-in families must have a stacked evaluator"
+        for x in SAMPLES:
+            flows = np.full(len(functions), float(x))
+            expected = np.array([f.value(v) for f, v in zip(functions, flows)])
+            np.testing.assert_allclose(stack.values(flows), expected, rtol=0, atol=0)
+        # Distinct per-row flows as well.
+        flows = np.linspace(0.05, 0.95, len(functions))
+        expected = np.array([f.value(v) for f, v in zip(functions, flows)])
+        np.testing.assert_allclose(stack.values(flows), expected, rtol=0, atol=0)
+
+    @pytest.mark.parametrize("functions", STACKS, ids=stack_id)
+    def test_row_subsets_match_full_evaluation(self, functions):
+        stack = LatencyStack(functions)
+        rows = np.array([2, 0, 3])
+        flows = np.array([0.3, 0.8, 0.55])
+        expected = np.array([functions[r].value(v) for r, v in zip(rows, flows)])
+        np.testing.assert_allclose(stack.values(flows, rows), expected, rtol=0, atol=0)
+
+    def test_shared_function_uses_value_array(self):
+        shared = LinearLatency(2.0)
+        stack = LatencyStack([shared, shared, shared])
+        assert stack.shared and stack.vectorised
+        np.testing.assert_allclose(stack.values(SAMPLES[:3]), 2.0 * SAMPLES[:3])
+
+    def test_mixed_types_fall_back_to_row_loop(self):
+        stack = LatencyStack([ConstantLatency(1.0), LinearLatency(2.0)])
+        assert not stack.vectorised
+        np.testing.assert_allclose(stack.values(np.array([0.4, 0.4])), [1.0, 0.8])
+
+    def test_mismatched_breakpoints_fall_back(self):
+        stack = LatencyStack(
+            [
+                PiecewiseLinearLatency([(0.0, 0.0), (0.4, 0.1), (1.0, 2.0)]),
+                PiecewiseLinearLatency([(0.0, 0.0), (0.6, 0.1), (1.0, 2.0)]),
+            ]
+        )
+        assert not stack.vectorised
+        flows = np.array([0.5, 0.5])
+        expected = np.array([f.value(0.5) for f in stack.functions])
+        np.testing.assert_allclose(stack.values(flows), expected, rtol=0, atol=0)
+
+    def test_mismatched_polynomial_lengths_fall_back(self):
+        stack = LatencyStack([PolynomialLatency([1.0, 2.0]), PolynomialLatency([1.0, 2.0, 3.0])])
+        assert not stack.vectorised
+        np.testing.assert_allclose(stack.values(np.array([0.5, 0.5])), [2.0, 2.75])
+
+    def test_custom_subclass_without_stacked_form_falls_back(self):
+        class Quadratic(LatencyFunction):
+            def __init__(self, a):
+                self.a = a
+
+            def value(self, x):
+                return self.a * x * x
+
+            def derivative(self, x):
+                return 2.0 * self.a * x
+
+            def integral(self, x):
+                return self.a * x**3 / 3.0
+
+        stack = LatencyStack([Quadratic(1.0), Quadratic(2.0)])
+        assert not stack.vectorised
+        np.testing.assert_allclose(stack.values(np.array([0.5, 0.5])), [0.25, 0.5])
+
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ValueError):
+            LatencyStack([])
+
+
+class TestTopologySignature:
+    def test_same_topology_different_coefficients_share_signature(self):
+        assert topology_signature(pigou_network(degree=1)) == topology_signature(
+            pigou_network(degree=3, constant=2.0)
+        )
+        assert topology_signature(two_link_network(beta=1.0)) == topology_signature(
+            two_link_network(beta=8.0)
+        )
+
+    def test_different_topologies_differ(self):
+        assert topology_signature(pigou_network()) != topology_signature(braess_network())
+        assert topology_signature(braess_network(with_shortcut=True)) != topology_signature(
+            braess_network(with_shortcut=False)
+        )
+
+
+class TestNetworkFamily:
+    def test_validates_topology(self):
+        with pytest.raises(ValueError):
+            NetworkFamily([pigou_network(), braess_network()])
+        with pytest.raises(ValueError):
+            NetworkFamily([])
+
+    def test_from_builder_and_replicate(self):
+        family = NetworkFamily.from_builder(
+            pigou_network, [{"degree": 1, "constant": c} for c in (0.5, 1.0, 1.5)]
+        )
+        assert family.size == 3
+        assert family.vectorised
+        shared = NetworkFamily.replicate(braess_network(), 4)
+        assert shared.size == 4 and shared.member(2) is shared.base
+        with pytest.raises(ValueError):
+            NetworkFamily.replicate(braess_network(), 0)
+
+    def test_edge_latencies_match_members(self):
+        constants = (0.5, 1.0, 1.5)
+        networks = [pigou_network(degree=2, constant=c) for c in constants]
+        family = NetworkFamily(networks)
+        rng = np.random.default_rng(3)
+        flows = np.stack([FlowVector.random(net, rng).values() for net in networks])
+        edge_flows = family.edge_flows_batch(flows)
+        edge_latencies = family.edge_latencies_batch(edge_flows)
+        path_latencies = family.path_latencies_batch(flows)
+        for row, network in enumerate(networks):
+            np.testing.assert_allclose(
+                edge_latencies[row],
+                network.edge_latencies(network.edge_flows(flows[row])),
+                rtol=0,
+                atol=0,
+            )
+            np.testing.assert_allclose(
+                path_latencies[row], network.path_latencies(flows[row]), rtol=0, atol=0
+            )
+
+    def test_row_subset_evaluation(self):
+        networks = [two_link_network(beta=b) for b in (1.0, 2.0, 4.0)]
+        family = NetworkFamily(networks)
+        flows = np.array([[0.8, 0.2], [0.7, 0.3]])
+        rows = np.array([2, 0])
+        latencies = family.path_latencies_batch(flows, rows)
+        for i, row in enumerate(rows):
+            np.testing.assert_allclose(
+                latencies[i], networks[row].path_latencies(flows[i]), rtol=0, atol=0
+            )
+
+    def test_family_constants_bound_members(self):
+        networks = [two_link_network(beta=b) for b in (1.0, 8.0)]
+        family = NetworkFamily(networks)
+        assert family.max_slope() == max(n.max_slope() for n in networks)
+        assert family.max_latency() == max(n.max_latency() for n in networks)
