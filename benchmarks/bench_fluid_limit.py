@@ -2,70 +2,178 @@
 
 The paper's analysis is carried out in the fluid limit of infinitely many
 infinitesimal agents.  This benchmark runs the finite-population
-discrete-event simulator (Poisson activation clocks, the same two-step
-policy, the same bulletin board) for growing population sizes and reports the
-deviation of the final flow shares from the fluid-limit trajectory: the
-deviation should shrink roughly like 1/sqrt(n).
+discrete-event simulator for growing population sizes and reports the
+sup-norm deviation of the empirical path shares from the fluid-limit
+trajectory, which should shrink roughly like ``1/sqrt(n)``.
+
+Since the batched agent engine landed, the whole population sweep --
+``n`` from 1e2 to 1e5, several replicas each -- runs as **one**
+:class:`~repro.batch.agents.BatchAgentSimulator` call instead of a Python
+loop of scalar simulations; a second test measures the batched engine's
+throughput against the per-replica scalar loop on the acceptance workload
+(n = 10^4, B = 32) and checks both the >= 10x speedup and the bit-identity
+of the replicas the scalar loop re-runs.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.analysis import print_table
-from repro.core import replicator_policy, simulate, simulate_agents
-from repro.instances import lopsided_flow, pigou_network, two_link_network
+from repro.analysis import fluid_limit_deviation, print_table
+from repro.batch import simulate_agent_batch
+from repro.core import AgentBasedSimulator, AgentSimulationConfig, replicator_policy, simulate
+from repro.instances import lopsided_flow, two_link_network
 
-POPULATIONS = [100, 1000, 10000]
-HORIZON = 15.0
+POPULATIONS = [100, 1000, 10000, 100000]
+REPLICAS = 4
+HORIZON = 10.0
 
-INSTANCES = {
-    "two-links(beta=4)": lambda: two_link_network(beta=4.0),
-    "pigou-linear": lambda: pigou_network(degree=1),
-}
+THROUGHPUT_POPULATION = 10_000
+THROUGHPUT_BATCH = 32
+THROUGHPUT_HORIZON = 2.5
+SCALAR_SAMPLE = 4
 
 
-def deviation_for(network, num_agents, seed=0):
+def build_workload():
+    network = two_link_network(beta=4.0)
     policy = replicator_policy(network, exploration=1e-3)
     period = policy.safe_update_period(network)
-    start = lopsided_flow(network, 0.9) if network.num_paths == 2 else None
-    fluid = simulate(
-        network, policy, update_period=period, horizon=HORIZON, initial_flow=start
-    )
-    finite = simulate_agents(
-        network, policy, num_agents=num_agents, update_period=period,
-        horizon=HORIZON, initial_flow=start, seed=seed,
-    )
-    return float(np.abs(finite.final_flow.values() - fluid.final_flow.values()).sum())
+    start = lopsided_flow(network, 0.9)
+    return network, policy, period, start
 
 
 @pytest.mark.experiment("E9")
 def test_finite_agents_approach_fluid_limit(report_header):
+    network, policy, period, start = build_workload()
+    fluid = simulate(
+        network, policy, update_period=period, horizon=HORIZON, initial_flow=start
+    )
+
+    # The whole n-sweep (4 decades x 4 replicas) is one batched call.
+    grid = [(n, replica) for n in POPULATIONS for replica in range(REPLICAS)]
+    begin = time.perf_counter()
+    result = simulate_agent_batch(
+        network,
+        policy,
+        num_agents=[n for n, _ in grid],
+        update_periods=period,
+        horizons=HORIZON,
+        initial_flows=start,
+        seeds=[7 * n + replica for n, replica in grid],
+    )
+    seconds = time.perf_counter() - begin
+
     rows = []
-    for name, make_instance in INSTANCES.items():
-        network = make_instance()
-        for population in POPULATIONS:
-            deviations = [deviation_for(network, population, seed=s) for s in range(3)]
-            rows.append(
-                {
-                    "instance": name,
-                    "n_agents": population,
-                    "mean_L1_deviation": float(np.mean(deviations)),
-                    "expected_scale(1/sqrt(n))": 1.0 / np.sqrt(population),
-                }
-            )
-    print_table(rows, title="E9: finite-agent simulation vs fluid limit")
-    for name in INSTANCES:
-        per_instance = [row for row in rows if row["instance"] == name]
-        smallest = per_instance[0]["mean_L1_deviation"]
-        largest = per_instance[-1]["mean_L1_deviation"]
-        # Two orders of magnitude more agents must shrink the deviation.
-        assert largest < smallest
+    means = []
+    for n in POPULATIONS:
+        deviations = [
+            fluid_limit_deviation(result.trajectory(row), fluid)
+            for row, (grid_n, _) in enumerate(grid)
+            if grid_n == n
+        ]
+        means.append(float(np.mean(deviations)))
+        rows.append(
+            {
+                "n_agents": n,
+                "replicas": REPLICAS,
+                "mean_sup_deviation": means[-1],
+                "expected_scale(1/sqrt(n))": 1.0 / np.sqrt(n),
+            }
+        )
+    print_table(
+        rows,
+        title=(
+            f"E9: finite-agent shares vs fluid trajectory "
+            f"({len(grid)} replicas in one batched call, {seconds:.2f}s)"
+        ),
+    )
+    # Three orders of magnitude more agents must shrink the deviation, and
+    # the largest population must sit in the O(1/sqrt(n)) regime.
+    assert means[-1] < means[0]
+    assert means[-1] < 5.0 / np.sqrt(POPULATIONS[-1])
 
 
 @pytest.mark.experiment("E9")
-def test_benchmark_agent_simulation(benchmark, report_header):
-    network = two_link_network(beta=4.0)
-    deviation = benchmark(deviation_for, network, 1000)
-    assert deviation < 0.5
+def test_batched_agent_throughput_vs_scalar_loop(report_header):
+    network, policy, period, start = build_workload()
+    seeds = list(range(THROUGHPUT_BATCH))
+
+    # Scalar baseline: the per-replica loop, timed on a subsample (every
+    # replica has the same configuration, so the subsample rate is an
+    # unbiased estimate of the full loop's rate).
+    begin = time.perf_counter()
+    scalar_runs = []
+    for row in range(SCALAR_SAMPLE):
+        config = AgentSimulationConfig(
+            num_agents=THROUGHPUT_POPULATION,
+            update_period=period,
+            horizon=THROUGHPUT_HORIZON,
+            seed=seeds[row],
+        )
+        simulator = AgentBasedSimulator(network, policy, config)
+        scalar_runs.append((simulator.run(start), simulator.final_assignment))
+    scalar_seconds = time.perf_counter() - begin
+    scalar_rate = SCALAR_SAMPLE / scalar_seconds
+
+    begin = time.perf_counter()
+    result = simulate_agent_batch(
+        network,
+        policy,
+        num_agents=[THROUGHPUT_POPULATION] * THROUGHPUT_BATCH,
+        update_periods=period,
+        horizons=THROUGHPUT_HORIZON,
+        initial_flows=start,
+        seeds=seeds,
+    )
+    batch_seconds = time.perf_counter() - begin
+    batch_rate = THROUGHPUT_BATCH / batch_seconds
+
+    speedup = batch_rate / scalar_rate
+    print_table(
+        [
+            {
+                "engine": "scalar loop",
+                "replicas": SCALAR_SAMPLE,
+                "seconds": scalar_seconds,
+                "replicas/sec": scalar_rate,
+            },
+            {
+                "engine": "BatchAgentSimulator",
+                "replicas": THROUGHPUT_BATCH,
+                "seconds": batch_seconds,
+                "replicas/sec": batch_rate,
+            },
+            {"engine": "speedup", "replicas/sec": speedup},
+        ],
+        title=(
+            f"E9b: batched agent engine vs per-replica scalar loop "
+            f"(n={THROUGHPUT_POPULATION}, B={THROUGHPUT_BATCH})"
+        ),
+    )
+
+    # The batched rows must be bit-identical to the scalar runs they replace.
+    for row, (trajectory, assignment) in enumerate(scalar_runs):
+        assert np.array_equal(assignment, result.assignments[row])
+        assert np.array_equal(trajectory.flow_matrix(), result.trajectory(row).flow_matrix())
+    assert speedup >= 10.0, f"batched agent engine only {speedup:.1f}x faster"
+
+
+@pytest.mark.experiment("E9")
+def test_benchmark_batched_agent_sweep(benchmark, report_header):
+    network, policy, period, start = build_workload()
+
+    def run():
+        return simulate_agent_batch(
+            network, policy,
+            num_agents=[1000] * 8,
+            update_periods=period,
+            horizons=HORIZON,
+            initial_flows=start,
+            seeds=list(range(8)),
+        )
+
+    result = benchmark(run)
+    assert result.batch_size == 8

@@ -4,6 +4,7 @@ from .convergence import (
     ConvergenceSummary,
     count_bad_phases,
     final_distance_to,
+    fluid_limit_deviation,
     potential_is_monotone,
     time_to_approximate_equilibrium,
     time_to_potential_gap,
@@ -39,6 +40,7 @@ __all__ = [
     "final_distance_to",
     "final_equilibrium_violation",
     "final_potential_gap",
+    "fluid_limit_deviation",
     "format_value",
     "phase_potential_stats",
     "phase_start_latency_trace",

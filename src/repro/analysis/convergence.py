@@ -118,3 +118,33 @@ def potential_is_monotone(trajectory: Trajectory, slack: float = 1e-9) -> bool:
 def final_distance_to(trajectory: Trajectory, reference_values: np.ndarray) -> float:
     """Return the L1 distance of the final flow to a reference flow vector."""
     return float(np.abs(trajectory.final_flow.values() - np.asarray(reference_values)).sum())
+
+
+def fluid_limit_deviation(trajectory: Trajectory, fluid: Trajectory) -> float:
+    """Return the sup-norm deviation of a run from a fluid-limit trajectory.
+
+    For every recorded point of ``trajectory`` the fluid flow at the nearest
+    recorded fluid time is looked up, and the maximum absolute difference of
+    the path shares over all points and paths is returned -- the
+    ``sup_t ||f_n(t) - f(t)||_inf`` statistic of the finite-``n`` versus
+    fluid-limit comparison (benchmark E9), which by the functional law of
+    large numbers should shrink like ``1/sqrt(n)`` as the population grows.
+    Both trajectories are typically recorded on the same phase grid (same
+    update period and horizon), in which case the time matching is exact.
+    """
+    if not trajectory.points or not fluid.points:
+        raise ValueError("both trajectories must contain recorded points")
+    times = trajectory.times
+    fluid_times = fluid.times
+    # Nearest recorded fluid time per point: fluid times are recorded in
+    # increasing order, so a binary search plus a left/right-neighbour
+    # comparison avoids the O(T * F) pairwise distance matrix.
+    right = np.clip(np.searchsorted(fluid_times, times), 1, len(fluid_times) - 1)
+    left = right - 1
+    nearest = np.where(
+        np.abs(times - fluid_times[left]) <= np.abs(fluid_times[right] - times),
+        left,
+        right,
+    )
+    fluid_flows = fluid.flow_matrix()[nearest]
+    return float(np.max(np.abs(trajectory.flow_matrix() - fluid_flows)))

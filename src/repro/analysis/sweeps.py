@@ -20,13 +20,26 @@ from __future__ import annotations
 import csv
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..core.policy import ReroutingPolicy
 from ..core.trajectory import Trajectory
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from .convergence import ConvergenceSummary, count_bad_phases
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..batch.stopping import StopCondition
 
 # A row builder may return one row or a list of rows (e.g. one per target
 # delta evaluated on the same trajectory).
@@ -38,7 +51,20 @@ class SweepCase:
     """One parameter setting of a sweep.
 
     ``parameters`` are echoed into the result row; the remaining fields
-    define the run.
+    define the run.  ``method`` selects the engine: ``"rk4"`` / ``"euler"``
+    run the fluid-limit integrator, ``"agents"`` runs the finite-population
+    discrete-event simulator (``num_agents`` agents, seeded with ``seed``;
+    ``steps_per_phase`` is then ignored).  ``stop_when`` is an optional
+    :class:`~repro.batch.stopping.StopCondition` evaluated at every phase
+    boundary (fluid methods only); the runner threads it through both the
+    scalar and the batched backend, where the case is always evaluated as
+    batch row 0, so the stop phase never depends on the dispatch decision.
+    A per-case condition must therefore be authored for the case's *own*
+    network -- e.g. ``equilibrium_gap_stop(case.network, delta)`` or
+    ``distance_stop(target_of_this_case[None, :], tol)`` -- never for a
+    whole family indexed by batch row (family-wide conditions belong to a
+    direct ``BatchSimulator.run(stop_when=...)`` call, which passes true row
+    indices).
     """
 
     parameters: Dict[str, object]
@@ -50,6 +76,9 @@ class SweepCase:
     stale: bool = True
     steps_per_phase: int = 50
     method: str = "rk4"
+    num_agents: Optional[int] = None
+    seed: int = 0
+    stop_when: Optional["StopCondition"] = None
 
 
 @dataclass

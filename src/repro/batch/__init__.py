@@ -14,6 +14,12 @@ remaining work.  Row ``r`` reproduces the scalar
 configuration exactly; see ``tests/batch``.
 """
 
+from .agents import (
+    BatchAgentConfig,
+    BatchAgentResult,
+    BatchAgentSimulator,
+    simulate_agent_batch,
+)
 from .board import BatchBulletinBoard
 from .engine import (
     BatchConfig,
@@ -25,6 +31,9 @@ from .engine import (
 from .stopping import StopCondition, distance_stop, equilibrium_gap_stop
 
 __all__ = [
+    "BatchAgentConfig",
+    "BatchAgentResult",
+    "BatchAgentSimulator",
     "BatchBulletinBoard",
     "BatchConfig",
     "BatchResult",
@@ -33,5 +42,6 @@ __all__ = [
     "StopCondition",
     "distance_stop",
     "equilibrium_gap_stop",
+    "simulate_agent_batch",
     "simulate_batch",
 ]

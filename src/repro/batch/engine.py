@@ -206,45 +206,39 @@ class BatchResult:
         return [self.trajectory(row) for row in range(self.batch_size)]
 
 
-class BatchSimulator:
-    """Simulates ``B`` independent replicas of the rerouting dynamics at once.
+class BatchEnsembleBase:
+    """Shared network/policy/initial-state plumbing of the batched engines.
 
-    Parameters
-    ----------
-    network:
-        Either the shared :class:`WardropNetwork` (all rows route on it) or a
-        :class:`~repro.wardrop.family.NetworkFamily` whose size equals the
-        batch size (row ``r`` routes on member ``r``, enabling heterogeneous
-        latency coefficients within one integration).
-    policies:
-        Either one :class:`ReroutingPolicy` applied to every row (the fast,
-        fully vectorised path) or a sequence of ``B`` policies, one per row
-        (sampling/migration matrices are then assembled row by row, which
-        still amortises the integration loop across the batch).
-    config:
-        The :class:`BatchConfig` with per-row periods/horizons/resolutions.
+    Normalises the ``network`` argument (shared network vs
+    :class:`~repro.wardrop.family.NetworkFamily` of the batch size), the
+    ``policies`` argument (one shared policy for the fully vectorised kernels
+    vs a per-row list using the row-loop fallback) and the ``initial_flows``
+    argument, and provides family-aware live latency evaluation.  Both the
+    fluid :class:`BatchSimulator` and the finite-population
+    :class:`~repro.batch.agents.BatchAgentSimulator` build on it, so
+    validation fixes apply to both engines at once.
     """
 
-    def __init__(self, network: Networks, policies: Policies, config: BatchConfig):
+    def __init__(self, network: Networks, policies: Policies, batch_size: int):
         if isinstance(network, NetworkFamily):
-            if network.size != config.batch_size:
+            if network.size != batch_size:
                 raise ValueError(
-                    f"family of {network.size} networks for a batch of {config.batch_size}"
+                    f"family of {network.size} networks for a batch of {batch_size}"
                 )
             self.family: Optional[NetworkFamily] = network
             self.network = network.base
         else:
             self.family = None
             self.network = network
-        self.config = config
+        self._batch_size = batch_size
         if isinstance(policies, ReroutingPolicy):
             self._shared_policy: Optional[ReroutingPolicy] = policies
-            self._policies: List[ReroutingPolicy] = [policies] * config.batch_size
+            self._policies: List[ReroutingPolicy] = [policies] * batch_size
         else:
             policies = list(policies)
-            if len(policies) != config.batch_size:
+            if len(policies) != batch_size:
                 raise ValueError(
-                    f"got {len(policies)} policies for a batch of {config.batch_size}"
+                    f"got {len(policies)} policies for a batch of {batch_size}"
                 )
             self._shared_policy = policies[0] if len(set(map(id, policies))) == 1 else None
             self._policies = policies
@@ -258,7 +252,7 @@ class BatchSimulator:
         return self.family is not None and candidate is self.family.networks[row]
 
     def _initial_flows(self, initial_flows) -> np.ndarray:
-        batch = self.config.batch_size
+        batch = self._batch_size
         network = self.network
         if initial_flows is None:
             uniform = FlowVector.uniform(network).values()
@@ -283,7 +277,7 @@ class BatchSimulator:
                 raise ValueError("initial flow belongs to a different network")
         return FlowVector.stack(vectors)
 
-    # Right-hand sides -------------------------------------------------------
+    # Latency evaluation ------------------------------------------------------
 
     def _path_latencies_rows(self, state: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Live path latencies of the active sub-batch (family-aware)."""
@@ -291,18 +285,16 @@ class BatchSimulator:
             return self.network.path_latencies_batch(state)
         return self.family.path_latencies_batch(state, rows)
 
-    def _stale_rates(self, board: BatchBulletinBoard, rows: np.ndarray):
-        """Return a field closure for one stale phase of the active rows.
+    # Policy tables -----------------------------------------------------------
 
-        Within a phase the sampling and migration matrices depend only on the
-        posted snapshot, so they are assembled once per phase (for the active
-        sub-batch only — frozen rows skip this work entirely) instead of once
-        per integrator stage; the values, and hence the trajectory, are
-        identical to the scalar simulator's.
+    def _policy_tables(self, posted_flows: np.ndarray, posted_latencies: np.ndarray, rows: np.ndarray):
+        """Return the stacked ``(sigma, mu)`` matrices of the given rows.
+
+        A shared policy uses the fully vectorised batch kernels; per-row
+        policies fall back to assembling the matrices row by row, so custom
+        sampling/migration rules keep working in both batched engines.
         """
         network = self.network
-        posted_flows = board.posted_flows[rows]
-        posted_latencies = board.posted_path_latencies[rows]
         if self._shared_policy is not None:
             policy = self._shared_policy
             sigma = policy.sampling.probabilities_batch(network, posted_flows, posted_latencies)
@@ -322,6 +314,44 @@ class BatchSimulator:
                     for i, row in enumerate(rows)
                 ]
             )
+        return sigma, mu
+
+
+class BatchSimulator(BatchEnsembleBase):
+    """Simulates ``B`` independent replicas of the rerouting dynamics at once.
+
+    Parameters
+    ----------
+    network:
+        Either the shared :class:`WardropNetwork` (all rows route on it) or a
+        :class:`~repro.wardrop.family.NetworkFamily` whose size equals the
+        batch size (row ``r`` routes on member ``r``, enabling heterogeneous
+        latency coefficients within one integration).
+    policies:
+        Either one :class:`ReroutingPolicy` applied to every row (the fast,
+        fully vectorised path) or a sequence of ``B`` policies, one per row
+        (sampling/migration matrices are then assembled row by row, which
+        still amortises the integration loop across the batch).
+    config:
+        The :class:`BatchConfig` with per-row periods/horizons/resolutions.
+    """
+
+    def __init__(self, network: Networks, policies: Policies, config: BatchConfig):
+        super().__init__(network, policies, config.batch_size)
+        self.config = config
+
+    def _stale_rates(self, board: BatchBulletinBoard, rows: np.ndarray):
+        """Return a field closure for one stale phase of the active rows.
+
+        Within a phase the sampling and migration matrices depend only on the
+        posted snapshot, so they are assembled once per phase (for the active
+        sub-batch only — frozen rows skip this work entirely) instead of once
+        per integrator stage; the values, and hence the trajectory, are
+        identical to the scalar simulator's.
+        """
+        sigma, mu = self._policy_tables(
+            board.posted_flows[rows], board.posted_path_latencies[rows], rows
+        )
 
         def field(_t, state: np.ndarray) -> np.ndarray:
             rho = (state[:, :, None] * sigma) * mu

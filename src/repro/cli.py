@@ -20,6 +20,7 @@ Examples::
     python -m repro.cli describe braess
     python -m repro.cli solve pigou-quadratic
     python -m repro.cli simulate two-links-steep --policy replicator --period auto
+    python -m repro.cli simulate pigou-linear --method agents --agents 5000 --period 0.1
     python -m repro.cli sweep braess --policy uniform --periods 0.05,0.1,0.2 --csv out.csv
     python -m repro.cli sweep pigou-linear,pigou-quadratic --periods 0.1,0.2 --engine batch
     python -m repro.cli oscillate --beta 4 --period 0.5
@@ -44,6 +45,7 @@ from .core import (
     oscillation_amplitude,
     replicator_policy,
     simulate,
+    simulate_agents,
     simulate_best_response,
     uniform_policy,
 )
@@ -86,7 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--horizon", type=float, default=60.0, help="simulated time horizon")
     run.add_argument("--fresh", action="store_true", help="use up-to-date information instead")
     run.add_argument(
-        "--method", choices=["rk4", "euler"], default="rk4", help="integration scheme"
+        "--method",
+        choices=["rk4", "euler", "agents"],
+        default="rk4",
+        help="integration scheme, or 'agents' for the finite-population simulator",
+    )
+    run.add_argument(
+        "--agents", type=int, default=1000, help="population size n for --method agents"
+    )
+    run.add_argument(
+        "--seed", type=int, default=0, help="random seed for --method agents"
     )
 
     sweep = subparsers.add_parser(
@@ -114,7 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--processes", type=int, default=None, help="worker pool size")
     sweep.add_argument(
-        "--method", choices=["rk4", "euler"], default="rk4", help="integration scheme"
+        "--method",
+        choices=["rk4", "euler", "agents"],
+        default="rk4",
+        help="integration scheme, or 'agents' for the finite-population simulator",
+    )
+    sweep.add_argument(
+        "--agents", type=int, default=1000, help="population size n for --method agents"
     )
     sweep.add_argument("--steps-per-phase", type=int, default=50, help="sub-steps per phase")
     sweep.add_argument("--fresh", action="store_true", help="use up-to-date information instead")
@@ -175,6 +192,8 @@ def _cmd_simulate(
     horizon: float,
     fresh: bool,
     method: str = "rk4",
+    num_agents: int = 1000,
+    seed: int = 0,
 ) -> int:
     network = get_instance(instance)
     policy = POLICY_BUILDERS[policy_name](network)
@@ -190,10 +209,16 @@ def _cmd_simulate(
             return 2
     start = FlowVector.single_path(network, {i: 0 for i in range(network.num_commodities)})
     start = start.blend(FlowVector.uniform(network), 0.05)
-    trajectory = simulate(
-        network, policy, update_period=update_period, horizon=horizon,
-        initial_flow=start, stale=not fresh, method=method,
-    )
+    if method == "agents":
+        trajectory = simulate_agents(
+            network, policy, num_agents=num_agents, update_period=update_period,
+            horizon=horizon, initial_flow=start, seed=seed, stale=not fresh,
+        )
+    else:
+        trajectory = simulate(
+            network, policy, update_period=update_period, horizon=horizon,
+            initial_flow=start, stale=not fresh, method=method,
+        )
     report = analyse_oscillation(trajectory)
     print(trajectory.describe())
     print(f"  update period T      = {update_period:.6g} ({'fresh info' if fresh else 'stale info'})")
@@ -234,6 +259,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             stale=not args.fresh,
             steps_per_phase=args.steps_per_phase,
             method=args.method,
+            num_agents=args.agents if args.method == "agents" else None,
         )
 
     plan = ExperimentPlan.from_axes(
@@ -242,6 +268,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         instance=names,
         update_period=periods,
     )
+    # Seed each case with its deterministic plan seed: the value persisted by
+    # --include-seed is then exactly the seed the agent simulator ran with
+    # (a row is reproduced by `simulate_agents(..., seed=<value>)` with the
+    # sweep's uniform default start; note `repro simulate` uses a different,
+    # lopsided starting flow).
+    for case, seed in zip(plan.cases, plan.seeds):
+        case.seed = seed
     convergence = convergence_row_builder(args.delta, args.epsilon)
 
     def build_row(trajectory):
@@ -296,7 +329,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solve(args.instance, args.tolerance)
     if args.command == "simulate":
         return _cmd_simulate(
-            args.instance, args.policy, args.period, args.horizon, args.fresh, args.method
+            args.instance, args.policy, args.period, args.horizon, args.fresh,
+            args.method, args.agents, args.seed,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)

@@ -15,16 +15,34 @@ simulation.  It serves two purposes in the reproduction:
 * it gives downstream users a simulator that matches the deployment story
   (real routers/agents are finite), not just the analysis tool.
 
-The union of all agents' Poisson clocks is itself a Poisson process of rate
-``n``; the simulation therefore draws exponential inter-activation times of
-mean ``1/n`` and picks the activated agent uniformly -- an exact simulation,
-not a time-discretised one.
+Randomness schedule (the seeding contract)
+------------------------------------------
+The union of all agents' Poisson clocks is a Poisson process of rate ``n``,
+so the number of activations inside one bulletin-board phase of length ``d``
+is ``Poisson(n * d)`` and the activated agents are i.i.d. uniform.  The
+simulator therefore draws its randomness *per phase, in blocks*:
+
+1. ``K = rng.poisson(n * d)``        -- the activation count of the phase,
+2. ``rng.integers(n, size=K)``       -- the activated agents, in clock order,
+3. ``rng.random(K)``                 -- one sampling uniform per activation,
+4. ``rng.random(K)``                 -- one migration coin per activation.
+
+Under stale information the decisions inside a phase depend only on the
+frozen snapshot, and under up-to-date information only on the *order* of
+activations (which is exchangeable with their i.i.d. draw order), so this
+block schedule is still an exact simulation, not a time-discretised one.
+Crucially, the block schedule is what makes the batched engine
+(:class:`repro.batch.agents.BatchAgentSimulator`) *bit-identical* per row:
+a batched replica with seed ``s`` issues exactly the same generator calls as
+a standalone :class:`AgentBasedSimulator` with seed ``s`` and applies the
+same floating-point kernels, so assignments, trajectories and final flows
+agree bit for bit (see ``tests/batch/test_agent_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +51,8 @@ from ..wardrop.network import WardropNetwork
 from .bulletin import BulletinBoard
 from .policy import ReroutingPolicy
 from .trajectory import PhaseRecord, Trajectory
+
+DEFAULT_NUM_AGENTS = 1000
 
 
 @dataclass
@@ -52,171 +72,337 @@ class AgentSimulationConfig:
         Seed of the random generator driving activations, sampling and
         migration coin flips.
     record_interval:
-        Trajectory sampling interval (defaults to the update period).
+        Trajectory point-thinning interval: points are recorded at phase
+        boundaries, every ``round(record_interval / T)``-th phase (defaults
+        to every phase; the final state is always recorded).  Must be at
+        least the update period -- the phase-block schedule records at phase
+        boundaries only.  Phase records are never thinned.
+    stale:
+        If ``True`` (default) the agents see the bulletin-board snapshot
+        posted at the phase start; if ``False`` every activation sees the
+        live flow and latencies (the up-to-date information model).
     """
 
-    num_agents: int = 1000
+    num_agents: int = DEFAULT_NUM_AGENTS
     update_period: float = 0.1
     horizon: float = 50.0
     seed: int = 0
     record_interval: Optional[float] = None
+    stale: bool = True
 
     def __post_init__(self) -> None:
         if self.num_agents < 1:
             raise ValueError("need at least one agent")
         if self.update_period <= 0 or self.horizon <= 0:
             raise ValueError("update period and horizon must be positive")
+        if self.record_interval is not None and self.record_interval < self.update_period:
+            raise ValueError(
+                "record_interval must be at least the update period: trajectory "
+                "points are recorded at phase boundaries (denser sampling is "
+                "not supported by the phase-block schedule)"
+            )
+
+
+# Shared kernels ------------------------------------------------------------
+#
+# The helpers below are the *single* definition of the per-phase arithmetic:
+# the scalar simulator consumes them event by event, the batched engine
+# consumes them as stacked arrays, and because both paths perform the same
+# floating-point operations on the same values the two engines agree bit for
+# bit row by row.
+
+
+def build_population(
+    network: WardropNetwork,
+    num_agents: int,
+    initial_values: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the initial ``(assignment, weights)`` arrays of one replica.
+
+    Agents are partitioned over commodities proportionally to the demands
+    and, within a commodity, over paths proportionally to the initial flow
+    (largest-remainder rounding keeps the counts exact); each agent carries
+    ``demand / count`` of its commodity's demand.  ``initial_values`` is the
+    target path-flow vector (uniform split when ``None``).
+    """
+    if initial_values is None:
+        initial_values = FlowVector.uniform(network).values()
+    initial_values = np.asarray(initial_values, dtype=float)
+    assignment = np.empty(num_agents, dtype=np.int64)
+    weights = np.empty(num_agents, dtype=float)
+    counts = _largest_remainder(
+        np.array([c.demand for c in network.commodities]), num_agents
+    )
+    cursor = 0
+    for i, commodity in enumerate(network.commodities):
+        indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
+        commodity_agents = counts[i]
+        shares = initial_values[indices]
+        total = shares.sum()
+        if total > 0:
+            path_weights = shares / total
+        else:
+            path_weights = np.full(len(indices), 1.0 / len(indices))
+        per_path = _largest_remainder(path_weights, commodity_agents)
+        for local, count in enumerate(per_path):
+            assignment[cursor : cursor + count] = indices[local]
+            cursor += count
+        weights[cursor - commodity_agents : cursor] = commodity.demand / max(
+            commodity_agents, 1
+        )
+    return assignment, weights
+
+
+def realised_flow(assignment: np.ndarray, weights: np.ndarray, num_paths: int) -> np.ndarray:
+    """Return the path-flow vector induced by an assignment of weighted agents."""
+    return np.bincount(assignment, weights=weights, minlength=num_paths)
+
+
+def planned_phase_counts(horizons, periods) -> np.ndarray:
+    """Return the number of executed bulletin-board phases per row.
+
+    ``ceil(horizon / period)`` plans one phase too many when
+    ``horizon / period`` lands just above an integer (e.g. a horizon computed
+    as ``48 * 0.2``); trailing phases whose start would already reach the
+    horizon are dropped.  Both the scalar and the batched agent engine derive
+    their phase grids from this one helper, so they execute exactly the same
+    phases for the same configuration -- part of the bit-equivalence
+    contract.  Accepts scalars or arrays (broadcast together).
+    """
+    horizons = np.asarray(horizons, dtype=float)
+    periods = np.asarray(periods, dtype=float)
+    counts = np.maximum(np.ceil(horizons / periods).astype(int), 1)
+    while True:
+        overshoot = (counts > 1) & ((counts - 1) * periods >= horizons)
+        if not np.any(overshoot):
+            return counts
+        counts = np.where(overshoot, counts - 1, counts)
+
+
+@dataclass(frozen=True)
+class SamplingLayout:
+    """Topology-level index tables behind the sampling kernel.
+
+    ``member_paths[p, j]`` is the ``j``-th global path index of the commodity
+    that path ``p`` belongs to (padded by repeating index 0, which is never
+    selected because the padded cdf columns equal 1).  ``valid_cols[p, j]``
+    is 1.0 on the real columns and 0.0 on the padding.
+    """
+
+    member_paths: np.ndarray
+    valid_cols: np.ndarray
+
+
+def sampling_layout(network: WardropNetwork) -> SamplingLayout:
+    """Build the per-path commodity index tables of one topology."""
+    num_paths = network.num_paths
+    widest = max(
+        len(network.paths.commodity_indices(i)) for i in range(network.num_commodities)
+    )
+    member_paths = np.zeros((num_paths, widest), dtype=np.int64)
+    valid_cols = np.zeros((num_paths, widest), dtype=float)
+    for i in range(network.num_commodities):
+        indices = np.fromiter(network.paths.commodity_indices(i), dtype=np.int64)
+        member_paths[indices, : len(indices)] = indices
+        valid_cols[indices, : len(indices)] = 1.0
+    return SamplingLayout(member_paths=member_paths, valid_cols=valid_cols)
+
+
+def sampling_tables(sigma: np.ndarray, layout: SamplingLayout) -> Tuple[np.ndarray, np.ndarray]:
+    """Turn sampling matrices into within-commodity cdf tables.
+
+    ``sigma`` has shape ``(..., P, P)`` (any leading batch dimensions).
+    Returns ``(cdf, valid)`` where ``cdf[..., p, j]`` is the normalised
+    cumulative probability that an agent on path ``p`` samples the ``j``-th
+    path of its commodity, and ``valid[..., p]`` flags rows with positive
+    total mass.  The sampled local index of an activation with uniform ``u``
+    is ``(cdf[..., p, :] <= u).sum()``: padded and final columns are exactly
+    1.0 and ``u < 1``, so the index always lands on a real column.
+    """
+    layout_shape = layout.member_paths.shape
+    indices = np.broadcast_to(layout.member_paths, sigma.shape[:-1] + layout_shape[-1:])
+    raw = np.take_along_axis(sigma, indices, axis=-1) * layout.valid_cols
+    cdf = np.cumsum(raw, axis=-1)
+    totals = cdf[..., -1].copy()
+    valid = totals > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cdf /= totals[..., None]
+    return cdf, valid
+
+
+def decide_event(
+    current: int,
+    u_sample: float,
+    u_migrate: float,
+    cdf: np.ndarray,
+    valid: np.ndarray,
+    mu: np.ndarray,
+    member_paths: np.ndarray,
+) -> int:
+    """Return the path one activation migrates to, or ``-1`` for a no-op.
+
+    The single scalar definition of the two-step decision: sample a path of
+    the own commodity by thresholding the cdf row with ``u_sample``, then
+    migrate iff ``u_migrate`` clears the posted migration probability.  Both
+    scalar information models consume it, and the batched kernels perform
+    exactly these operations as stacked arrays.
+    """
+    if not valid[current]:
+        return -1
+    local = int((cdf[current] <= u_sample).sum())
+    sampled = member_paths[current, local]
+    if sampled == current:
+        return -1
+    if u_migrate < mu[current, sampled]:
+        return int(sampled)
+    return -1
+
+
+def apply_events(
+    assignment: np.ndarray,
+    agents: np.ndarray,
+    u_sample: np.ndarray,
+    u_migrate: np.ndarray,
+    cdf: np.ndarray,
+    valid: np.ndarray,
+    mu: np.ndarray,
+    member_paths: np.ndarray,
+) -> None:
+    """Apply one stale phase's activations to ``assignment``, in clock order.
+
+    This is the reference event loop; the batched engine replays the same
+    decisions as stacked array operations (grouped by the activation's
+    occurrence rank per agent, which preserves each agent's clock order while
+    different agents, who cannot interact within a frozen phase, are
+    processed together).
+    """
+    for j in range(len(agents)):
+        agent = agents[j]
+        sampled = decide_event(
+            assignment[agent], u_sample[j], u_migrate[j], cdf, valid, mu, member_paths
+        )
+        if sampled >= 0:
+            assignment[agent] = sampled
 
 
 class AgentBasedSimulator:
-    """Exact discrete-event simulation of finitely many rerouting agents."""
+    """Exact discrete-event simulation of finitely many rerouting agents.
+
+    After :meth:`run` the attribute ``final_assignment`` holds the last
+    agent-to-path assignment (the batched engine exposes the same array per
+    row, and the equivalence tests compare them bit for bit).
+    """
 
     def __init__(self, network: WardropNetwork, policy: ReroutingPolicy, config: AgentSimulationConfig):
         self.network = network
         self.policy = policy
         self.config = config
-
-    # Population setup -------------------------------------------------------
-
-    def _initial_assignment(self, initial_flow: Optional[FlowVector], rng: np.random.Generator) -> np.ndarray:
-        """Assign each agent to a path, matching the initial flow as closely as possible.
-
-        Agents are partitioned over commodities proportionally to the demands
-        and, within a commodity, over paths proportionally to the initial
-        flow (largest-remainder rounding keeps the counts exact).
-        """
-        network = self.network
-        flow = initial_flow or FlowVector.uniform(network)
-        n = self.config.num_agents
-        assignment = np.empty(n, dtype=int)
-        cursor = 0
-        counts = _largest_remainder(
-            np.array([c.demand for c in network.commodities]), n
-        )
-        for i in range(network.num_commodities):
-            indices = np.fromiter(network.paths.commodity_indices(i), dtype=int)
-            commodity_agents = counts[i]
-            shares = flow.values()[indices]
-            total = shares.sum()
-            weights = shares / total if total > 0 else np.full(len(indices), 1.0 / len(indices))
-            per_path = _largest_remainder(weights, commodity_agents)
-            for local, count in enumerate(per_path):
-                assignment[cursor : cursor + count] = indices[local]
-                cursor += count
-        return assignment
-
-    def _agent_weights(self) -> np.ndarray:
-        """Return the demand carried by each agent (uniform within a commodity)."""
-        network = self.network
-        n = self.config.num_agents
-        counts = _largest_remainder(np.array([c.demand for c in network.commodities]), n)
-        weights = np.empty(n)
-        cursor = 0
-        for i, commodity in enumerate(network.commodities):
-            count = counts[i]
-            weights[cursor : cursor + count] = commodity.demand / max(count, 1)
-            cursor += count
-        return weights
-
-    def _commodity_of_agents(self) -> np.ndarray:
-        network = self.network
-        n = self.config.num_agents
-        counts = _largest_remainder(np.array([c.demand for c in network.commodities]), n)
-        commodities = np.empty(n, dtype=int)
-        cursor = 0
-        for i, count in enumerate(counts):
-            commodities[cursor : cursor + count] = i
-            cursor += count
-        return commodities
-
-    # Simulation ----------------------------------------------------------------
+        self.final_assignment: Optional[np.ndarray] = None
 
     def run(self, initial_flow: Optional[FlowVector] = None) -> Trajectory:
         """Run the discrete-event simulation and return the recorded trajectory."""
         config = self.config
         network = self.network
-        rng = np.random.default_rng(config.seed)
-        assignment = self._initial_assignment(initial_flow, rng)
-        weights = self._agent_weights()
-        agent_commodity = self._commodity_of_agents()
+        policy = self.policy
         n = config.num_agents
+        num_paths = network.num_paths
+        rng = np.random.default_rng(config.seed)
+        assignment, weights = build_population(
+            network, n, initial_flow.values() if initial_flow is not None else None
+        )
+        layout = sampling_layout(network)
+        member_paths = layout.member_paths
 
-        def current_flow_values() -> np.ndarray:
-            values = np.zeros(network.num_paths)
-            np.add.at(values, assignment, weights)
-            return values
-
-        board = BulletinBoard(network, config.update_period)
         trajectory = Trajectory(
             network=network,
-            policy_name=f"{self.policy.label()} (n={n})",
-            update_period=config.update_period,
+            policy_name=f"{policy.label()} (n={n})",
+            update_period=config.update_period if config.stale else 0.0,
         )
-        record_interval = config.record_interval or config.update_period
+        flow_values = realised_flow(assignment, weights, num_paths)
+        trajectory.record(0.0, FlowVector(network, flow_values, validate=False), 0)
 
-        time = 0.0
-        flow_values = current_flow_values()
-        board.post(time, flow_values)
-        trajectory.record(time, FlowVector(network, flow_values, validate=False), board.phase_index)
-        next_record = record_interval
-        phase_start_flow = FlowVector(network, flow_values, validate=False)
-        phase_start_time = 0.0
+        board: Optional[BulletinBoard] = None
+        flow_live = np.empty(0)
+        if config.stale:
+            board = BulletinBoard(network, config.update_period)
+            board.post(0.0, flow_values)
+        else:
+            # Only the fresh-information event loop reads the live flow.
+            flow_live = flow_values.copy()
 
-        while time < config.horizon:
-            time += rng.exponential(1.0 / n)
-            if time > config.horizon:
-                break
-            # Refresh the bulletin board at phase boundaries we may have crossed.
-            if board.needs_update(time):
-                flow_values = current_flow_values()
-                end_flow = FlowVector(network, flow_values, validate=False)
-                trajectory.record_phase(
-                    PhaseRecord(
-                        index=board.phase_index,
-                        start_time=phase_start_time,
-                        end_time=board.phase_start(time),
-                        start_flow=phase_start_flow,
-                        end_flow=end_flow,
+        period = config.update_period
+        horizon = config.horizon
+        num_phases = int(planned_phase_counts(horizon, period))
+        stride = 1
+        if config.record_interval is not None:
+            stride = max(1, int(round(config.record_interval / period)))
+        previous = FlowVector(network, flow_values, validate=False)
+
+        for phase in range(num_phases):
+            start = phase * period
+            end = min((phase + 1) * period, horizon)
+            duration = end - start
+            count = int(rng.poisson(n * duration))
+            agents = rng.integers(n, size=count)
+            u_sample = rng.random(count)
+            u_migrate = rng.random(count)
+
+            if config.stale:
+                snapshot = board.snapshot
+                sigma = policy.sampling.probabilities(
+                    network, snapshot.path_flows, snapshot.path_latencies
+                )
+                mu = policy.migration.matrix(snapshot.path_latencies)
+                cdf, valid = sampling_tables(sigma, layout)
+                apply_events(
+                    assignment, agents, u_sample, u_migrate, cdf, valid, mu, member_paths
+                )
+            else:
+                # The live tables depend only on flow_live, so they stay
+                # valid until a migration changes it -- recomputing them
+                # lazily is bit-neutral and skips the dominant cost of
+                # no-op activations.
+                tables_valid = False
+                for j in range(count):
+                    if not tables_valid:
+                        latencies = network.path_latencies(flow_live)
+                        sigma = policy.sampling.probabilities(network, flow_live, latencies)
+                        mu = policy.migration.matrix(latencies)
+                        cdf, valid = sampling_tables(sigma, layout)
+                        tables_valid = True
+                    agent = agents[j]
+                    current = assignment[agent]
+                    sampled = decide_event(
+                        current, u_sample[j], u_migrate[j], cdf, valid, mu, member_paths
                     )
+                    if sampled >= 0:
+                        assignment[agent] = sampled
+                        weight = weights[agent]
+                        flow_live[current] -= weight
+                        flow_live[sampled] += weight
+                        tables_valid = False
+
+            flow_values = realised_flow(assignment, weights, num_paths)
+            flow = FlowVector(network, flow_values, validate=False)
+            trajectory.record_phase(
+                PhaseRecord(
+                    index=phase,
+                    start_time=start,
+                    end_time=end,
+                    start_flow=previous,
+                    end_flow=flow,
                 )
-                board.post(time, flow_values)
-                phase_start_flow = end_flow
-                phase_start_time = board.phase_start(time)
-            snapshot = board.snapshot
-
-            # Activate one uniformly random agent and apply the two-step policy.
-            agent = int(rng.integers(n))
-            current_path = int(assignment[agent])
-            commodity = int(agent_commodity[agent])
-            indices = np.fromiter(network.paths.commodity_indices(commodity), dtype=int)
-            sigma = self.policy.sampling.probabilities(
-                network, snapshot.path_flows, snapshot.path_latencies
             )
-            distribution = sigma[current_path, indices]
-            total = distribution.sum()
-            if total <= 0:
-                continue
-            sampled_local = int(rng.choice(len(indices), p=distribution / total))
-            sampled_path = int(indices[sampled_local])
-            if sampled_path == current_path:
-                continue
-            probability = self.policy.migration.probability(
-                float(snapshot.path_latencies[current_path]),
-                float(snapshot.path_latencies[sampled_path]),
-            )
-            if rng.random() < probability:
-                assignment[agent] = sampled_path
+            if (phase + 1) % stride == 0 or phase == num_phases - 1:
+                trajectory.record(end, flow, phase)
+            previous = flow
+            if config.stale:
+                if end < horizon:
+                    board.post(end, flow_values)
+            else:
+                flow_live = flow_values.copy()
 
-            while next_record <= time:
-                trajectory.record(
-                    next_record,
-                    FlowVector(network, current_flow_values(), validate=False),
-                    board.phase_index,
-                )
-                next_record += record_interval
-
-        final_flow = FlowVector(network, current_flow_values(), validate=False)
-        trajectory.record(min(time, config.horizon), final_flow, board.phase_index)
+        self.final_assignment = assignment
         return trajectory
 
 
@@ -242,6 +428,7 @@ def simulate_agents(
     horizon: float,
     initial_flow: Optional[FlowVector] = None,
     seed: int = 0,
+    stale: bool = True,
 ) -> Trajectory:
     """Convenience wrapper around :class:`AgentBasedSimulator`."""
     config = AgentSimulationConfig(
@@ -249,5 +436,6 @@ def simulate_agents(
         update_period=update_period,
         horizon=horizon,
         seed=seed,
+        stale=stale,
     )
     return AgentBasedSimulator(network, policy, config).run(initial_flow)

@@ -37,7 +37,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.sweeps import RowBuilder, SweepCase, SweepResult
+from ..batch.agents import BatchAgentConfig, BatchAgentSimulator
 from ..batch.engine import BatchConfig, BatchSimulator, Policies
+from ..core.agents import DEFAULT_NUM_AGENTS, AgentBasedSimulator, AgentSimulationConfig
 from ..core.simulator import simulate
 from ..core.trajectory import Trajectory
 from ..wardrop.family import NetworkFamily, topology_signature
@@ -63,8 +65,28 @@ def group_key(case: SweepCase) -> GroupKey:
     return (topology_signature(case.network), case.stale, case.method)
 
 
+def _case_num_agents(case: SweepCase) -> int:
+    """Return a case's population size, defaulting only a missing value.
+
+    An explicit (invalid) 0 must reach the config validator rather than be
+    silently replaced by the default.
+    """
+    return case.num_agents if case.num_agents is not None else DEFAULT_NUM_AGENTS
+
+
 def _simulate_case(case: SweepCase) -> Trajectory:
     """Run one case through the scalar simulator (also the pool worker)."""
+    if case.method == "agents":
+        if case.stop_when is not None:
+            raise ValueError("stop_when is not supported by the agent engine")
+        config = AgentSimulationConfig(
+            num_agents=_case_num_agents(case),
+            update_period=case.update_period,
+            horizon=case.horizon,
+            seed=case.seed,
+            stale=case.stale,
+        )
+        return AgentBasedSimulator(case.network, case.policy, config).run(case.initial_flow)
     return simulate(
         case.network,
         case.policy,
@@ -74,6 +96,7 @@ def _simulate_case(case: SweepCase) -> Trajectory:
         stale=case.stale,
         steps_per_phase=case.steps_per_phase,
         method=case.method,
+        stop_when=case.stop_when.scalar(0) if case.stop_when is not None else None,
     )
 
 
@@ -89,15 +112,8 @@ def _case_rows(case: SweepCase, trajectory: Trajectory, row_builder: RowBuilder)
     return merged_rows
 
 
-def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
-    """Run one compatible group as a single batched integration.
-
-    Cases sharing one network object run on it directly; same-topology
-    cases with different networks are stacked into a
-    :class:`NetworkFamily` so heterogeneous latency coefficients integrate
-    in the same pass.
-    """
-    first = cases[0]
+def _group_target_and_policies(cases: Sequence[SweepCase]):
+    """Return the shared network (or family) and policies of one group."""
     networks = [case.network for case in cases]
     if all(network is networks[0] for network in networks):
         target = networks[0]
@@ -106,6 +122,66 @@ def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
     policies: Policies = [case.policy for case in cases]
     if all(policy is policies[0] for policy in policies):
         policies = policies[0]
+    return target, policies
+
+
+def _group_stop_when(cases: Sequence[SweepCase]):
+    """Build the combined batch stopping condition of one fused group.
+
+    Each case's :class:`~repro.batch.stopping.StopCondition` is evaluated on
+    its own single-row slice with row index 0 -- exactly what the serial
+    backend's ``condition.scalar(0)`` adapter evaluates -- so a case stops in
+    the same phase whichever backend runs it.
+    """
+    conditions = [case.stop_when for case in cases]
+    if all(condition is None for condition in conditions):
+        return None
+    zero = np.zeros(1, dtype=int)
+
+    def combined(times: np.ndarray, flows: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        mask = np.zeros(len(rows), dtype=bool)
+        for i, row in enumerate(rows):
+            condition = conditions[row]
+            if condition is not None:
+                mask[i] = bool(
+                    np.asarray(condition.batch(times[i : i + 1], flows[i : i + 1], zero))[0]
+                )
+        return mask
+
+    return combined
+
+
+def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
+    """Run one compatible group as a single batched integration.
+
+    Cases sharing one network object run on it directly; same-topology
+    cases with different networks are stacked into a
+    :class:`NetworkFamily` so heterogeneous latency coefficients integrate
+    in the same pass.  Groups with ``method="agents"`` run on the batched
+    finite-population engine instead of the fluid integrator.
+    """
+    first = cases[0]
+    target, policies = _group_target_and_policies(cases)
+    # Passed as FlowVectors (not a raw array) so the engine validates each
+    # row's flow against its own network or family member.
+    initial_flows = [
+        case.initial_flow if case.initial_flow is not None else FlowVector.uniform(case.network)
+        for case in cases
+    ]
+    if first.method == "agents":
+        if any(case.stop_when is not None for case in cases):
+            raise ValueError("stop_when is not supported by the agent engine")
+        agent_config = BatchAgentConfig(
+            num_agents=np.array(
+                [_case_num_agents(case) for case in cases], dtype=np.int64
+            ),
+            update_periods=np.array([case.update_period for case in cases], dtype=float),
+            horizons=np.array([case.horizon for case in cases], dtype=float),
+            seeds=np.array([case.seed for case in cases], dtype=np.int64),
+            stale=first.stale,
+        )
+        agent_result = BatchAgentSimulator(target, policies, agent_config).run(initial_flows)
+        return [agent_result.trajectory(row) for row in range(len(cases))]
     config = BatchConfig(
         update_periods=np.array([case.update_period for case in cases], dtype=float),
         horizons=np.array([case.horizon for case in cases], dtype=float),
@@ -113,13 +189,9 @@ def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
         method=first.method,
         stale=first.stale,
     )
-    # Passed as FlowVectors (not a raw array) so the engine validates each
-    # row's flow against its own network or family member.
-    initial_flows = [
-        case.initial_flow if case.initial_flow is not None else FlowVector.uniform(case.network)
-        for case in cases
-    ]
-    result = BatchSimulator(target, policies, config).run(initial_flows)
+    result = BatchSimulator(target, policies, config).run(
+        initial_flows, stop_when=_group_stop_when(cases)
+    )
     return [result.trajectory(row) for row in range(len(cases))]
 
 
@@ -142,7 +214,23 @@ def _pool_worker(case: SweepCase) -> Rows:
 def _run_pool_rows(
     cases: Sequence[SweepCase], processes: int, row_builder: RowBuilder
 ) -> List[Rows]:
-    """Build each case's rows on a worker pool, preserving order."""
+    """Build each case's rows on a worker pool, preserving order.
+
+    Cases carrying a ``stop_when`` condition are simulated serially: stop
+    conditions are closures and do not survive the pool's pickling of the
+    case arguments (the batched backend is the fast path for them anyway).
+    """
+    stoppy = [i for i, case in enumerate(cases) if case.stop_when is not None]
+    if stoppy:
+        results: List[Optional[Rows]] = [None] * len(cases)
+        for i in stoppy:
+            results[i] = _case_rows(cases[i], _simulate_case(cases[i]), row_builder)
+        plain = [i for i in range(len(cases)) if cases[i].stop_when is None]
+        for i, rows in zip(
+            plain, _run_pool_rows([cases[i] for i in plain], processes, row_builder)
+        ):
+            results[i] = rows
+        return results  # type: ignore[return-value]
     if processes <= 1 or len(cases) <= 1:
         return [_case_rows(case, _simulate_case(case), row_builder) for case in cases]
     try:

@@ -101,6 +101,31 @@ class NetworkFamily:
         return cls([builder(**dict(params)) for params in parameter_grid])
 
     @classmethod
+    def from_coefficients(
+        cls,
+        instance: WardropNetwork,
+        grid: Sequence[Mapping[object, object]],
+    ) -> "NetworkFamily":
+        """Synthesise a family from one instance and a coefficient grid.
+
+        ``grid`` holds one mapping per member, each sending edges (triples
+        ``(u, v, key)`` or integer positions into ``instance.edges``) to the
+        member's replacement
+        :class:`~repro.wardrop.latency.LatencyFunction`; edges a member does
+        not mention keep the instance's function.  Members are lightweight
+        :meth:`~repro.wardrop.network.WardropNetwork.with_latencies` copies
+        sharing the instance's graph, path set and incidence matrix, so --
+        unlike :meth:`from_builder` -- no ``networkx`` graph is built and no
+        path enumeration runs per member: family setup is O(edges) per row
+        instead of O(graph).  The resulting :class:`LatencyStack` per edge is
+        identical to the one a graph-built family of the same coefficients
+        would produce.
+        """
+        if not grid:
+            raise ValueError("a coefficient grid needs at least one entry")
+        return cls([instance.with_latencies(overrides) for overrides in grid])
+
+    @classmethod
     def replicate(cls, network: WardropNetwork, count: int) -> "NetworkFamily":
         """Return a family of ``count`` references to one shared network."""
         if count < 1:

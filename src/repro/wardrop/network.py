@@ -16,7 +16,8 @@ vectors, the potential, the equilibrium solvers and the rerouting simulator.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+import copy
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
@@ -74,6 +75,9 @@ class WardropNetwork:
         self._demands = np.array(
             [self.commodities[self.paths.commodity_of(p)].demand for p in range(len(self.paths))]
         )
+        # Per-edge latency replacements of lightweight copies made by
+        # `with_latencies`; empty on a directly constructed network.
+        self._latency_overrides: Dict[EdgeKey, LatencyFunction] = {}
 
     # Construction helpers -------------------------------------------------
 
@@ -138,8 +142,41 @@ class WardropNetwork:
 
     def latency_function(self, edge: EdgeKey) -> LatencyFunction:
         """Return the latency function attached to ``edge``."""
+        override = self._latency_overrides.get(edge)
+        if override is not None:
+            return override
         u, v, key = edge
         return self.graph[u][v][key][LATENCY_ATTR]
+
+    def with_latencies(
+        self, overrides: Mapping[Union[EdgeKey, int], LatencyFunction]
+    ) -> "WardropNetwork":
+        """Return a lightweight copy with some edge latencies replaced.
+
+        The copy shares the graph, path set, incidence matrix and commodities
+        of this network -- nothing is re-enumerated and no ``networkx`` graph
+        is built -- only the latency lookup of the overridden edges changes.
+        Keys may be edge triples ``(u, v, key)`` or integer positions into
+        :attr:`edges`.  Replacement functions are spot-checked with
+        :meth:`~repro.wardrop.latency.LatencyFunction.validate`.
+
+        This is the constructor behind
+        :meth:`~repro.wardrop.family.NetworkFamily.from_coefficients`, which
+        synthesises whole coefficient-sweep families without rebuilding
+        ``B`` graphs.
+        """
+        mapping: Dict[EdgeKey, LatencyFunction] = {}
+        for key, function in overrides.items():
+            edge = self._edges[key] if isinstance(key, (int, np.integer)) else key
+            if edge not in self._edge_index:
+                raise ValueError(f"unknown edge {edge!r}")
+            if not isinstance(function, LatencyFunction):
+                raise ValueError(f"override for edge {edge!r} is not a LatencyFunction")
+            function.validate()
+            mapping[edge] = function
+        clone = copy.copy(self)
+        clone._latency_overrides = {**self._latency_overrides, **mapping}
+        return clone
 
     # Network constants used by the theory ----------------------------------
 

@@ -84,8 +84,11 @@ def marginal_cost_network(network: WardropNetwork) -> WardropNetwork:
     """
     graph = nx.MultiDiGraph()
     graph.add_nodes_from(network.graph.nodes())
-    for u, v, key, data in network.graph.edges(keys=True, data=True):
-        graph.add_edge(u, v, key=key, **{LATENCY_ATTR: MarginalCostLatency(data[LATENCY_ATTR])})
+    for u, v, key in network.graph.edges(keys=True):
+        # Resolved through latency_function (not the raw graph attribute) so
+        # the per-edge overrides of `with_latencies` clones are honoured.
+        latency = network.latency_function((u, v, key))
+        graph.add_edge(u, v, key=key, **{LATENCY_ATTR: MarginalCostLatency(latency)})
     return WardropNetwork(graph, network.commodities, normalise=False)
 
 

@@ -1,0 +1,218 @@
+"""Bit-equivalence of the batched agent engine and the scalar simulator.
+
+Every batched replica row must reproduce a standalone
+:class:`~repro.core.agents.AgentBasedSimulator` run with the same seed *bit
+for bit*: the final agent-to-path assignments, every recorded trajectory
+point (times, flows, phase indices), the phase records and the final flows.
+The grid covers two instances, stale and fresh information, heterogeneous
+populations/periods/horizons per row, network families and per-row policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchAgentConfig, BatchAgentSimulator, simulate_agent_batch
+from repro.core import (
+    AgentBasedSimulator,
+    AgentSimulationConfig,
+    replicator_policy,
+    scaled_policy,
+    uniform_policy,
+)
+from repro.instances import lopsided_flow, pigou_network, two_link_network
+from repro.wardrop import FlowVector, NetworkFamily
+
+ROWS = [
+    {"num_agents": 40, "update_period": 0.2, "horizon": 2.0, "seed": 3},
+    {"num_agents": 75, "update_period": 0.25, "horizon": 1.7, "seed": 11},
+    {"num_agents": 120, "update_period": 0.2, "horizon": 2.1, "seed": 42},
+]
+
+
+def scalar_run(network, policy, row, initial_flow, stale):
+    config = AgentSimulationConfig(stale=stale, **row)
+    simulator = AgentBasedSimulator(network, policy, config)
+    trajectory = simulator.run(initial_flow)
+    return trajectory, simulator.final_assignment
+
+
+def assert_rows_bit_identical(result, network_of_row, policy_of_row, rows, starts, stale):
+    for index, row in enumerate(rows):
+        network = network_of_row(index)
+        trajectory, assignment = scalar_run(
+            network, policy_of_row(index), row, starts[index], stale
+        )
+        batched = result.trajectory(index)
+        # Assignments: the exact agent-to-path map after the last phase.
+        assert np.array_equal(assignment, result.assignments[index])
+        # Trajectories: every sample time, flow vector and phase index.
+        assert np.array_equal(trajectory.times, batched.times)
+        assert np.array_equal(trajectory.flow_matrix(), batched.flow_matrix())
+        assert [p.phase_index for p in trajectory.points] == [
+            p.phase_index for p in batched.points
+        ]
+        assert len(trajectory.phases) == len(batched.phases)
+        for scalar_phase, batch_phase in zip(trajectory.phases, batched.phases):
+            assert scalar_phase.index == batch_phase.index
+            assert scalar_phase.start_time == batch_phase.start_time
+            assert scalar_phase.end_time == batch_phase.end_time
+            assert np.array_equal(
+                scalar_phase.start_flow.values(), batch_phase.start_flow.values()
+            )
+            assert np.array_equal(
+                scalar_phase.end_flow.values(), batch_phase.end_flow.values()
+            )
+        # Final flows, both as arrays and through the FlowVector accessor.
+        assert np.array_equal(
+            trajectory.final_flow.values(), result.final_flow(index).values()
+        )
+        assert np.array_equal(trajectory.final_flow.values(), result.final_flows()[index])
+        assert batched.policy_name == trajectory.policy_name
+        assert batched.update_period == trajectory.update_period
+
+
+@pytest.mark.parametrize("stale", [True, False], ids=["stale", "fresh"])
+@pytest.mark.parametrize(
+    "make_network",
+    [lambda: two_link_network(beta=4.0), lambda: pigou_network(degree=2)],
+    ids=["two-links", "pigou-quadratic"],
+)
+def test_rows_bit_identical_to_scalar_runs(make_network, stale):
+    network = make_network()
+    policy = replicator_policy(network, exploration=1e-3)
+    start = lopsided_flow(network, 0.85) if network.num_paths == 2 else None
+    result = simulate_agent_batch(
+        network,
+        policy,
+        num_agents=[row["num_agents"] for row in ROWS],
+        update_periods=[row["update_period"] for row in ROWS],
+        horizons=[row["horizon"] for row in ROWS],
+        initial_flows=start,
+        seeds=[row["seed"] for row in ROWS],
+        stale=stale,
+    )
+    assert_rows_bit_identical(
+        result, lambda i: network, lambda i: policy, ROWS, [start] * len(ROWS), stale
+    )
+
+
+@pytest.mark.parametrize("stale", [True, False], ids=["stale", "fresh"])
+def test_family_rows_match_their_member_networks(stale):
+    constants = [0.6, 0.85, 1.1]
+    family = NetworkFamily([pigou_network(degree=1, constant=c) for c in constants])
+    policy = uniform_policy(family.base, max_latency=family.max_latency())
+    starts = [FlowVector(member, [0.3, 0.7]) for member in family.networks]
+    result = simulate_agent_batch(
+        family,
+        policy,
+        num_agents=[row["num_agents"] for row in ROWS],
+        update_periods=[row["update_period"] for row in ROWS],
+        horizons=[row["horizon"] for row in ROWS],
+        initial_flows=starts,
+        seeds=[row["seed"] for row in ROWS],
+        stale=stale,
+    )
+    assert_rows_bit_identical(
+        result, lambda i: family.member(i), lambda i: policy, ROWS, starts, stale
+    )
+
+
+def test_per_row_policies_use_the_row_loop_fallback():
+    network = two_link_network(beta=4.0)
+    policies = [scaled_policy(0.3), scaled_policy(0.6), scaled_policy(0.9)]
+    start = lopsided_flow(network, 0.8)
+    config = BatchAgentConfig(
+        num_agents=np.array([row["num_agents"] for row in ROWS]),
+        update_periods=[row["update_period"] for row in ROWS],
+        horizons=[row["horizon"] for row in ROWS],
+        seeds=[row["seed"] for row in ROWS],
+    )
+    result = BatchAgentSimulator(network, policies, config).run(start)
+    assert_rows_bit_identical(
+        result, lambda i: network, lambda i: policies[i], ROWS, [start] * len(ROWS), True
+    )
+
+
+def test_batch_size_broadcasts_from_any_per_row_field(two_links):
+    """Scalar n with a seed list is the natural constant-n replica sweep."""
+    policy = uniform_policy(two_links)
+    result = simulate_agent_batch(
+        two_links, policy, num_agents=40, update_periods=0.25, horizons=1.0,
+        seeds=range(3),
+    )
+    assert result.batch_size == 3
+    assert list(result.num_agents) == [40, 40, 40]
+    for row in range(3):
+        trajectory, assignment = scalar_run(
+            two_links,
+            policy,
+            {"num_agents": 40, "update_period": 0.25, "horizon": 1.0, "seed": row},
+            None,
+            True,
+        )
+        assert np.array_equal(assignment, result.assignments[row])
+        assert np.array_equal(trajectory.flow_matrix(), result.trajectory(row).flow_matrix())
+    with pytest.raises(ValueError):
+        simulate_agent_batch(
+            two_links, policy, num_agents=[10, 20, 30], update_periods=[0.1, 0.2],
+            horizons=1.0,
+        )
+
+
+def test_uniform_default_start_and_shared_seed_broadcast(two_links):
+    policy = uniform_policy(two_links)
+    result = simulate_agent_batch(
+        two_links, policy, num_agents=[30, 30], update_periods=0.25, horizons=1.5, seeds=7
+    )
+    # Identical configuration and seed: the rows are exact clones.
+    assert np.array_equal(result.assignments[0], result.assignments[1])
+    assert np.array_equal(result.flows[0], result.flows[1])
+    trajectory, assignment = scalar_run(
+        two_links,
+        policy,
+        {"num_agents": 30, "update_period": 0.25, "horizon": 1.5, "seed": 7},
+        None,
+        True,
+    )
+    assert np.array_equal(assignment, result.assignments[0])
+    assert np.array_equal(trajectory.flow_matrix(), result.trajectory(0).flow_matrix())
+
+
+def test_horizon_rounding_edge_keeps_engines_identical(two_links):
+    """horizon = k * T computed in floating point can land just above k*T
+    (e.g. 48 * 0.2); ceil then plans one empty trailing phase, which both
+    engines must skip identically (code-review regression)."""
+    policy = uniform_policy(two_links)
+    horizon = 48 * 0.2  # = 9.600000000000001 > 9.6
+    result = simulate_agent_batch(
+        two_links, policy, num_agents=[60], update_periods=0.2, horizons=horizon, seeds=13
+    )
+    trajectory, assignment = scalar_run(
+        two_links,
+        policy,
+        {"num_agents": 60, "update_period": 0.2, "horizon": horizon, "seed": 13},
+        None,
+        True,
+    )
+    assert len(trajectory.phases) == result.num_phases(0) == 48
+    assert np.array_equal(trajectory.times, result.trajectory(0).times)
+    assert np.array_equal(trajectory.flow_matrix(), result.trajectory(0).flow_matrix())
+    assert np.array_equal(assignment, result.assignments[0])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BatchAgentConfig(num_agents=np.array([0, 10]))
+    with pytest.raises(ValueError):
+        BatchAgentConfig(num_agents=np.array([10]), update_periods=0.0)
+    with pytest.raises(ValueError):
+        BatchAgentConfig(num_agents=np.array([10]), horizons=-1.0)
+
+
+def test_family_size_must_match_batch(two_links):
+    family = NetworkFamily.replicate(two_links, 2)
+    config = BatchAgentConfig(num_agents=np.array([10, 10, 10]))
+    with pytest.raises(ValueError):
+        BatchAgentSimulator(family, uniform_policy(two_links), config)

@@ -38,6 +38,8 @@ class TestAgentSimulation:
             AgentSimulationConfig(num_agents=0)
         with pytest.raises(ValueError):
             AgentSimulationConfig(update_period=0.0)
+        with pytest.raises(ValueError, match="record_interval"):
+            AgentSimulationConfig(update_period=0.1, record_interval=0.01)
 
     def test_flow_conservation(self, two_links):
         policy = uniform_policy(two_links)
@@ -89,6 +91,39 @@ class TestAgentSimulation:
         simulator = AgentBasedSimulator(two_links, policy, config)
         trajectory = simulator.run(FlowVector(two_links, [0.7, 0.3]))
         assert trajectory.initial_flow.values() == pytest.approx([0.7, 0.3], abs=1e-9)
+
+    def test_fresh_information_mode_conserves_flow(self, two_links):
+        policy = uniform_policy(two_links)
+        trajectory = simulate_agents(
+            two_links, policy, num_agents=80, update_period=0.2, horizon=3.0,
+            seed=5, stale=False,
+        )
+        assert trajectory.update_period == 0.0
+        for point in trajectory.points:
+            assert point.flow.values().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_final_assignment_reproduces_final_flow(self, two_links):
+        policy = uniform_policy(two_links)
+        config = AgentSimulationConfig(num_agents=50, update_period=0.2, horizon=2.0, seed=9)
+        simulator = AgentBasedSimulator(two_links, policy, config)
+        trajectory = simulator.run()
+        assignment = simulator.final_assignment
+        assert assignment is not None and len(assignment) == 50
+        counts = np.bincount(assignment, minlength=two_links.num_paths)
+        np.testing.assert_allclose(
+            counts / 50, trajectory.final_flow.values(), atol=1e-12
+        )
+
+    def test_record_interval_thins_points_but_not_phases(self, two_links):
+        policy = uniform_policy(two_links)
+        config = AgentSimulationConfig(
+            num_agents=40, update_period=0.1, horizon=1.0, seed=1, record_interval=0.5
+        )
+        trajectory = AgentBasedSimulator(two_links, policy, config).run()
+        # Initial point + one point per fifth phase (phases 5 and 10).
+        assert len(trajectory.points) == 3
+        assert len(trajectory.phases) == 10
+        assert trajectory.points[-1].time == pytest.approx(1.0)
 
 
 class TestTrajectory:

@@ -11,11 +11,18 @@ import numpy as np
 import pytest
 
 from repro.analysis import SweepCase, SweepResult, convergence_row_builder, run_sweep
+from repro.batch import distance_stop
 from repro.cli import build_parser, main
-from repro.core import replicator_policy, scaled_policy, simulate, uniform_policy
+from repro.core import (
+    replicator_policy,
+    scaled_policy,
+    simulate,
+    simulate_agents,
+    uniform_policy,
+)
 from repro.experiments import ExperimentPlan, case_seed, group_key, run_cases, run_plan
 from repro.experiments.runner import _case_rows, _run_pool_rows, _simulate_case
-from repro.instances import braess_network, pigou_network
+from repro.instances import braess_network, pigou_network, two_link_network
 from repro.wardrop import FlowVector
 
 
@@ -184,6 +191,166 @@ class TestRunner:
             steps_per_phase=2, method="euler",
         )
         assert euler_row["final"] == expected.final_flow.values().tolist()
+
+
+def stop_when_plan():
+    """A two-link beta family sweep with a per-case distance stop condition."""
+    networks = [two_link_network(beta=beta) for beta in (3.0, 5.0)]
+    policy = scaled_policy(0.5)
+    cases = [
+        SweepCase(
+            {"case": i},
+            network,
+            policy,
+            0.1,
+            30.0,
+            initial_flow=FlowVector(network, [0.9, 0.1]),
+            steps_per_phase=5,
+            stop_when=distance_stop(np.array([[0.5, 0.5]]), tolerance=1e-3),
+        )
+        for i, network in enumerate(networks)
+    ]
+    return ExperimentPlan(name="stop-when", cases=cases)
+
+
+class TestStopWhenThreading:
+    """SweepCase.stop_when must work end to end from a plan (ROADMAP item)."""
+
+    def builder(self, trajectory):
+        return {
+            "phases": len(trajectory.phases),
+            "final": trajectory.final_flow.values().tolist(),
+        }
+
+    def test_run_plan_stop_phases_match_direct_simulator_runs(self):
+        plan = stop_when_plan()
+        batched = run_plan(plan, self.builder, engine="batch").rows
+        serial = run_plan(plan, self.builder, engine="serial").rows
+        assert batched == serial
+        for case, row in zip(plan.cases, batched):
+            direct = simulate(
+                case.network,
+                case.policy,
+                update_period=case.update_period,
+                horizon=case.horizon,
+                initial_flow=case.initial_flow,
+                steps_per_phase=case.steps_per_phase,
+                stop_when=case.stop_when.scalar(0),
+            )
+            assert row["phases"] == len(direct.phases)
+            assert row["final"] == direct.final_flow.values().tolist()
+            # The condition genuinely stopped the run early.
+            assert len(direct.phases) < case.horizon / case.update_period
+
+    def test_processes_engine_runs_stop_cases_serially(self):
+        plan = stop_when_plan()
+        pooled = run_plan(plan, self.builder, engine="processes", processes=2).rows
+        serial = run_plan(plan, self.builder, engine="serial").rows
+        assert pooled == serial
+
+    def test_family_group_with_per_member_conditions(self):
+        """Per-case conditions authored for each case's own network stop at
+        per-member phases inside a fused different-coefficient family batch
+        and agree with the serial backend (the documented row-0 contract)."""
+        from repro.batch import equilibrium_gap_stop
+
+        betas = (3.0, 8.0)
+        networks = [two_link_network(beta=beta) for beta in betas]
+        policy = scaled_policy(0.5)
+        cases = [
+            SweepCase(
+                {"beta": beta}, network, policy, 0.1, 30.0,
+                initial_flow=FlowVector(network, [0.9, 0.1]), steps_per_phase=5,
+                stop_when=equilibrium_gap_stop(network, delta=0.05),
+            )
+            for beta, network in zip(betas, networks)
+        ]
+        assert len({group_key(case) for case in cases}) == 1
+        batched = run_cases(cases, self.builder, engine="batch").rows
+        serial = run_cases(cases, self.builder, engine="serial").rows
+        assert batched == serial
+        # Both members stop early, at genuinely different per-member phases
+        # (the steeper instance drives larger migration probabilities, so it
+        # closes the same latency gap in fewer phases).
+        assert batched[1]["phases"] < batched[0]["phases"] < 300
+
+    def test_mixed_group_stops_only_flagged_rows(self):
+        network = two_link_network(beta=4.0)
+        policy = scaled_policy(0.5)
+        start = FlowVector(network, [0.9, 0.1])
+        stop = distance_stop(np.array([[0.5, 0.5]]), tolerance=1e-3)
+        cases = [
+            SweepCase(
+                {"case": i}, network, policy, 0.1, 20.0, initial_flow=start,
+                steps_per_phase=5, stop_when=stop if i == 0 else None,
+            )
+            for i in range(2)
+        ]
+        rows = run_cases(cases, self.builder, engine="batch").rows
+        assert rows[0]["phases"] < rows[1]["phases"] == 200
+
+
+class TestAgentsMethod:
+    """The runner's finite-population backend (method="agents")."""
+
+    def agent_cases(self):
+        network = pigou_network(degree=1)
+        policy = replicator_policy(network, exploration=1e-3)
+        return [
+            SweepCase(
+                {"case": i}, network, policy, 0.2, 2.0, method="agents",
+                num_agents=60 + 30 * i, seed=100 + i,
+            )
+            for i in range(3)
+        ]
+
+    def builder(self, trajectory):
+        return {
+            "phases": len(trajectory.phases),
+            "final": trajectory.final_flow.values().tolist(),
+            "policy": trajectory.policy_name,
+        }
+
+    def test_agent_cases_fuse_into_one_group(self):
+        cases = self.agent_cases()
+        assert len({group_key(case) for case in cases}) == 1
+        # Agent cases never group with fluid cases of the same network.
+        fluid = SweepCase({}, cases[0].network, cases[0].policy, 0.2, 2.0)
+        assert group_key(fluid) != group_key(cases[0])
+
+    @pytest.mark.parametrize("engine", ["auto", "batch", "processes"])
+    def test_engines_agree_with_serial(self, engine):
+        rows = run_cases(self.agent_cases(), self.builder, engine=engine, processes=2).rows
+        serial = run_cases(self.agent_cases(), self.builder, engine="serial").rows
+        assert rows == serial
+
+    def test_rows_match_direct_scalar_agent_runs(self):
+        cases = self.agent_cases()
+        rows = run_cases(cases, self.builder, engine="batch").rows
+        for case, row in zip(cases, rows):
+            direct = simulate_agents(
+                case.network, case.policy, num_agents=case.num_agents,
+                update_period=case.update_period, horizon=case.horizon,
+                seed=case.seed,
+            )
+            assert row["final"] == direct.final_flow.values().tolist()
+            assert row["policy"] == direct.policy_name
+
+    def test_explicit_zero_num_agents_reaches_the_validator(self):
+        case = self.agent_cases()[0]
+        case.num_agents = 0
+        with pytest.raises(ValueError, match="at least one agent"):
+            run_cases([case], self.builder, engine="serial")
+        with pytest.raises(ValueError, match="at least one agent"):
+            run_cases([case, self.agent_cases()[1]], self.builder, engine="batch")
+
+    def test_agent_cases_reject_stop_when(self):
+        case = self.agent_cases()[0]
+        case.stop_when = distance_stop(np.array([[0.5, 0.5]]), tolerance=0.1)
+        with pytest.raises(ValueError, match="agent engine"):
+            run_cases([case], self.builder, engine="serial")
+        with pytest.raises(ValueError, match="agent engine"):
+            run_cases([case, self.agent_cases()[1]], self.builder, engine="batch")
 
 
 class TestPoolRowBuilding:

@@ -195,3 +195,93 @@ class TestNetworkFamily:
         family = NetworkFamily(networks)
         assert family.max_slope() == max(n.max_slope() for n in networks)
         assert family.max_latency() == max(n.max_latency() for n in networks)
+
+
+class TestFromCoefficients:
+    """`NetworkFamily.from_coefficients` synthesises members without graphs."""
+
+    def build_pair(self):
+        """The same Pigou constant sweep built both ways."""
+        constants = (0.5, 0.75, 1.0, 1.25)
+        base = pigou_network(degree=1)
+        constant_edge = next(
+            i
+            for i, edge in enumerate(base.edges)
+            if isinstance(base.latency_function(edge), ConstantLatency)
+        )
+        built = NetworkFamily.from_builder(
+            pigou_network, [{"degree": 1, "constant": c} for c in constants]
+        )
+        synthesised = NetworkFamily.from_coefficients(
+            base, [{constant_edge: ConstantLatency(c)} for c in constants]
+        )
+        return built, synthesised, base
+
+    def test_matches_graph_built_family_latency_stack(self):
+        built, synthesised, base = self.build_pair()
+        assert synthesised.size == built.size
+        assert synthesised.vectorised
+        rng = np.random.default_rng(11)
+        flows = rng.dirichlet(np.ones(base.num_paths), size=built.size)
+        np.testing.assert_array_equal(
+            synthesised.path_latencies_batch(flows), built.path_latencies_batch(flows)
+        )
+        edge_flows = built.edge_flows_batch(flows)
+        np.testing.assert_array_equal(
+            synthesised.edge_latencies_batch(edge_flows),
+            built.edge_latencies_batch(edge_flows),
+        )
+        # Per-edge stacks agree function by function on a subset of rows too.
+        rows = np.array([3, 1])
+        np.testing.assert_array_equal(
+            synthesised.edge_latencies_batch(edge_flows[rows], rows),
+            built.edge_latencies_batch(edge_flows[rows], rows),
+        )
+
+    def test_members_share_structure_but_own_their_latencies(self):
+        built, synthesised, base = self.build_pair()
+        for member, reference in zip(synthesised.networks, built.networks):
+            # Shared topology objects: no graph or path set was rebuilt.
+            assert member.paths is base.paths
+            assert member.incidence is base.incidence
+            # Per-member theory constants still reflect the overrides.
+            assert member.max_latency() == reference.max_latency()
+            assert member.max_slope() == reference.max_slope()
+        # The base instance itself is untouched by the overrides.
+        assert base.latency_function(base.edges[0]).value(0.0) == pytest.approx(
+            pigou_network(degree=1).latency_function(base.edges[0]).value(0.0)
+        )
+
+    def test_edge_keys_accept_triples_and_validates(self):
+        _, _, base = self.build_pair()
+        edge = base.edges[0]
+        clone = base.with_latencies({edge: ConstantLatency(2.0)})
+        assert clone.latency_function(edge).value(0.3) == 2.0
+        with pytest.raises(ValueError, match="unknown edge"):
+            base.with_latencies({("x", "y", 0): ConstantLatency(1.0)})
+        with pytest.raises(ValueError, match="not a LatencyFunction"):
+            base.with_latencies({edge: 3.0})
+        with pytest.raises(ValueError):
+            NetworkFamily.from_coefficients(base, [])
+
+    def test_overridden_clones_flow_through_social_cost(self):
+        """Derived quantities must see the overrides, not the base graph's
+        latencies (code-review regression: optimal_flow/price_of_anarchy
+        previously read the shared graph attributes directly)."""
+        from repro.wardrop.social_cost import optimal_flow, price_of_anarchy
+
+        base = pigou_network(degree=1, constant=1.0)
+        constant_edge = next(
+            i
+            for i, edge in enumerate(base.edges)
+            if isinstance(base.latency_function(edge), ConstantLatency)
+        )
+        clone = base.with_latencies({constant_edge: ConstantLatency(0.25)})
+        reference = pigou_network(degree=1, constant=0.25)
+        np.testing.assert_allclose(
+            optimal_flow(clone).values(), optimal_flow(reference).values(), atol=1e-6
+        )
+        cost_eq, cost_opt, ratio = price_of_anarchy(clone)
+        ref_eq, ref_opt, ref_ratio = price_of_anarchy(reference)
+        assert ratio >= 1.0
+        assert ratio == pytest.approx(ref_ratio, abs=1e-6)
