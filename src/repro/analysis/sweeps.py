@@ -56,15 +56,25 @@ class SweepCase:
     discrete-event simulator (``num_agents`` agents, seeded with ``seed``;
     ``steps_per_phase`` is then ignored).  ``stop_when`` is an optional
     :class:`~repro.batch.stopping.StopCondition` evaluated at every phase
-    boundary (fluid methods only); the runner threads it through both the
-    scalar and the batched backend, where the case is always evaluated as
-    batch row 0, so the stop phase never depends on the dispatch decision.
-    A per-case condition must therefore be authored for the case's *own*
-    network -- e.g. ``equilibrium_gap_stop(case.network, delta)`` or
-    ``distance_stop(target_of_this_case[None, :], tol)`` -- never for a
-    whole family indexed by batch row (family-wide conditions belong to a
-    direct ``BatchSimulator.run(stop_when=...)`` call, which passes true row
-    indices).
+    boundary (fluid and agent methods); the runner threads it through both
+    the scalar and the batched backend, where the case is always evaluated
+    as batch row 0, so the stop phase never depends on the dispatch
+    decision.  A per-case condition must therefore be authored for the
+    case's *own* network -- e.g. ``equilibrium_gap_stop(case.network,
+    delta)`` or ``distance_stop(target_of_this_case[None, :], tol)`` --
+    never for a whole family indexed by batch row (family-wide conditions
+    belong to a direct ``BatchSimulator.run(stop_when=...)`` call, which
+    passes true row indices).
+
+    ``column_generation`` runs the case through the large-network
+    column-generation simulator instead (fluid methods only): the network's
+    path set is re-seeded with free-flow shortest paths and grows at
+    bulletin refreshes.  Such cases always execute serially -- their path
+    set changes mid-run, so they cannot join a fixed-dimension batch -- and
+    reject ``initial_flow`` and ``stop_when`` (both are authored for the
+    case network's fixed path dimension; pass a scalar ``stop_when`` to
+    :func:`~repro.largescale.columns.simulate_with_column_generation`
+    directly instead).
     """
 
     parameters: Dict[str, object]
@@ -79,6 +89,7 @@ class SweepCase:
     num_agents: Optional[int] = None
     seed: int = 0
     stop_when: Optional["StopCondition"] = None
+    column_generation: bool = False
 
 
 @dataclass

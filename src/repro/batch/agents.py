@@ -48,7 +48,7 @@ from ..wardrop.family import NetworkFamily
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from .board import BatchBulletinBoard
-from .engine import BatchEnsembleBase, Networks, Policies
+from .engine import BatchEnsembleBase, BatchStoppingCondition, Networks, Policies
 
 
 @dataclass
@@ -114,7 +114,9 @@ class BatchAgentResult:
     (``k = 0`` is the initial realised flow, then one sample per phase);
     only the first ``num_points[r]`` slots are valid.  ``assignments[r]``
     is row ``r``'s final agent-to-path assignment, bit-identical to the
-    scalar simulator's ``final_assignment``.
+    scalar simulator's ``final_assignment``.  ``stop_phases[r]`` is the
+    phase whose boundary fired row ``r``'s ``stop_when`` condition (−1 if
+    it never fired), matching the scalar early-exit phase exactly.
     """
 
     network: WardropNetwork
@@ -129,6 +131,13 @@ class BatchAgentResult:
     num_points: np.ndarray
     assignments: List[np.ndarray]
     family: Optional[NetworkFamily] = None
+    stop_phases: Optional[np.ndarray] = None
+
+    def stopped_rows(self) -> np.ndarray:
+        """Return the boolean mask of rows frozen by ``stop_when``."""
+        if self.stop_phases is None:
+            return np.zeros(self.batch_size, dtype=bool)
+        return self.stop_phases >= 0
 
     @property
     def batch_size(self) -> int:
@@ -244,7 +253,11 @@ class BatchAgentSimulator(BatchEnsembleBase):
 
     # Main loop --------------------------------------------------------------
 
-    def run(self, initial_flows=None) -> BatchAgentResult:
+    def run(
+        self,
+        initial_flows=None,
+        stop_when: Optional[BatchStoppingCondition] = None,
+    ) -> BatchAgentResult:
         """Simulate every replica to its horizon and return the batch result.
 
         ``initial_flows`` may be ``None`` (uniform split for every row), a
@@ -252,6 +265,13 @@ class BatchAgentSimulator(BatchEnsembleBase):
         vectors or a raw ``(B, P)`` array; each row's agent population is
         built from its target flow with the scalar simulator's
         largest-remainder rounding.
+
+        ``stop_when(times, flows, rows)`` is the vectorised per-row stopping
+        mask, evaluated at every phase boundary on the realised flows --
+        mirroring the fluid engine's freezing semantics: a row whose
+        condition fires records the triggering phase and then drops out of
+        the active sub-batch, issuing no further generator draws (exactly
+        like a scalar run that breaks out of its phase loop).
         """
         config = self.config
         network = self.network
@@ -308,6 +328,7 @@ class BatchAgentSimulator(BatchEnsembleBase):
         flows = realised_flows()
         recorded[:, 0] = flows
         num_points = np.ones(batch, dtype=int)
+        stop_phases = np.full(batch, -1, dtype=int)
 
         board: Optional[BatchBulletinBoard] = None
         flows_live = np.empty(0)
@@ -320,7 +341,7 @@ class BatchAgentSimulator(BatchEnsembleBase):
 
         for phase in range(max_phases):
             starts = phase * periods
-            active = phase < planned_phases
+            active = (phase < planned_phases) & (stop_phases < 0)
             if not active.any():
                 break
             rows = np.flatnonzero(active)
@@ -384,6 +405,14 @@ class BatchAgentSimulator(BatchEnsembleBase):
             recorded[rows, phase + 1] = flows[rows]
             num_points[rows] += 1
 
+            if stop_when is not None:
+                hit = np.asarray(stop_when(ends[rows], flows[rows], rows), dtype=bool)
+                if hit.shape != rows.shape:
+                    raise ValueError(
+                        f"stop_when returned shape {hit.shape}, expected {rows.shape}"
+                    )
+                stop_phases[rows[hit]] = phase
+
         labels = [
             f"{policy.label()} (n={int(populations[row])})"
             for row, policy in enumerate(self._policies)
@@ -404,6 +433,7 @@ class BatchAgentSimulator(BatchEnsembleBase):
             num_points=num_points,
             assignments=assignments,
             family=self.family,
+            stop_phases=stop_phases,
         )
 
     # Phase kernels ----------------------------------------------------------
@@ -538,6 +568,7 @@ def simulate_agent_batch(
     initial_flows=None,
     seeds=0,
     stale: bool = True,
+    stop_when: Optional[BatchStoppingCondition] = None,
 ) -> BatchAgentResult:
     """Convenience wrapper mirroring :func:`repro.core.agents.simulate_agents`."""
     config = BatchAgentConfig(
@@ -547,4 +578,6 @@ def simulate_agent_batch(
         seeds=seeds,
         stale=stale,
     )
-    return BatchAgentSimulator(network, policies, config).run(initial_flows)
+    return BatchAgentSimulator(network, policies, config).run(
+        initial_flows, stop_when=stop_when
+    )

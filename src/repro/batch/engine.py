@@ -75,6 +75,12 @@ class BatchConfig:
     stale:
         If ``True`` (default) boards refresh only at phase boundaries
         (Eq. 3); if ``False`` the live state is used at every stage (Eq. 1).
+    record_every:
+        Optional stride (in integrator sub-steps) for dense trajectory
+        recording: every ``record_every``-th sub-step records an additional
+        (projected) sample between the phase boundaries, mirroring the
+        scalar simulator's ``record_every_step`` at stride 1.  ``None``
+        (default) records phase boundaries only.
     """
 
     update_periods: np.ndarray = field(default_factory=lambda: np.array([0.1]))
@@ -82,6 +88,7 @@ class BatchConfig:
     steps_per_phase: Union[int, np.ndarray] = 50
     method: str = "rk4"
     stale: bool = True
+    record_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.update_periods = np.atleast_1d(np.asarray(self.update_periods, dtype=float))
@@ -98,6 +105,8 @@ class BatchConfig:
             raise ValueError("all horizons must be positive")
         if np.any(self.steps_per_phase <= 0):
             raise ValueError("steps_per_phase must be positive")
+        if self.record_every is not None and self.record_every < 1:
+            raise ValueError("record_every must be a positive sub-step stride")
 
     @property
     def batch_size(self) -> int:
@@ -114,6 +123,11 @@ class BatchResult:
     ``stop_phases[r]`` is the index of the phase whose end triggered row
     ``r``'s ``stop_when`` condition (−1 if it never fired), matching the
     scalar simulator's early-exit phase exactly.
+
+    Dense (strided) runs additionally fill ``sample_phases[r, k]`` with the
+    phase index each sample belongs to, ``boundary_mask[r, k]`` with whether
+    it is a phase boundary, and ``phase_counts[r]`` with the number of
+    completed phases (which no longer equals ``num_points - 1``).
     """
 
     network: WardropNetwork
@@ -126,6 +140,9 @@ class BatchResult:
     num_points: np.ndarray
     stop_phases: Optional[np.ndarray] = None
     family: Optional[NetworkFamily] = None
+    sample_phases: Optional[np.ndarray] = None
+    boundary_mask: Optional[np.ndarray] = None
+    phase_counts: Optional[np.ndarray] = None
 
     @property
     def batch_size(self) -> int:
@@ -142,6 +159,8 @@ class BatchResult:
 
     def num_phases(self, row: int) -> int:
         """Return the number of completed bulletin-board phases of one row."""
+        if self.phase_counts is not None:
+            return int(self.phase_counts[row])
         return int(self.num_points[row]) - 1
 
     def stopped_rows(self) -> np.ndarray:
@@ -187,16 +206,28 @@ class BatchResult:
             FlowVector(network, self.flows[row, k], validate=False)
             for k in range(count)
         ]
-        for k in range(count):
-            trajectory.record(float(self.times[row, k]), vectors[k], max(k - 1, 0))
-        for p in range(count - 1):
+        if self.sample_phases is None:
+            # Boundary-only recording: sample k closes phase k-1.
+            for k in range(count):
+                trajectory.record(float(self.times[row, k]), vectors[k], max(k - 1, 0))
+            boundary_indices = list(range(count))
+        else:
+            for k in range(count):
+                trajectory.record(
+                    float(self.times[row, k]), vectors[k], int(self.sample_phases[row, k])
+                )
+            boundary_indices = [
+                k for k in range(count) if bool(self.boundary_mask[row, k])
+            ]
+        for p in range(len(boundary_indices) - 1):
+            start, end = boundary_indices[p], boundary_indices[p + 1]
             trajectory.record_phase(
                 PhaseRecord(
                     index=p,
-                    start_time=float(self.times[row, p]),
-                    end_time=float(self.times[row, p + 1]),
-                    start_flow=vectors[p],
-                    end_flow=vectors[p + 1],
+                    start_time=float(self.times[row, start]),
+                    end_time=float(self.times[row, end]),
+                    start_flow=vectors[start],
+                    end_flow=vectors[end],
                 )
             )
         return trajectory
@@ -413,15 +444,28 @@ class BatchSimulator(BatchEnsembleBase):
         horizons = config.horizons
         flows = self._initial_flows(initial_flows)
         stepper = batch_stepper_for(config.method)
+        record_every = config.record_every
 
         # Per-row phase counts, mirroring the scalar ceil(horizon / T).
         planned_phases = np.ceil(horizons / periods).astype(int)
         max_phases = int(planned_phases.max())
 
-        times = np.zeros((batch, max_phases + 1))
-        recorded = np.zeros((batch, max_phases + 1, network.num_paths))
+        if record_every is None:
+            capacity = max_phases + 1
+        else:
+            # ceil(duration / max_step) can land on steps_per_phase + 1 when
+            # the phase-boundary subtraction rounds up by an ulp, so size for
+            # s + 1 sub-steps: floor(s / stride) intermediates + 1 boundary.
+            per_phase = int(np.max(config.steps_per_phase)) // record_every + 1
+            capacity = max_phases * per_phase + 1
+        times = np.zeros((batch, capacity))
+        recorded = np.zeros((batch, capacity, network.num_paths))
         recorded[:, 0] = flows
         num_points = np.ones(batch, dtype=int)
+        sample_phases = np.zeros((batch, capacity), dtype=int)
+        boundary_mask = np.zeros((batch, capacity), dtype=bool)
+        boundary_mask[:, 0] = True
+        phase_counts = np.zeros(batch, dtype=int)
         stop_phases = np.full(batch, -1, dtype=int)
 
         board: Optional[BatchBulletinBoard] = None
@@ -464,12 +508,33 @@ class BatchSimulator(BatchEnsembleBase):
                 step = np.where(live, step_sizes, 0.0)[:, None]
                 tick = (row_starts + k * step_sizes)[:, None]
                 state = stepper(field, tick, state, step)
+                if record_every is not None:
+                    # Strided intermediate samples, mirroring the scalar
+                    # record_every_step contract: the *projected* state is
+                    # recorded while integration continues from the raw one.
+                    due = live & ((k + 1) % record_every == 0) & (k + 1 < num_steps)
+                    if due.any():
+                        selected = np.flatnonzero(due)
+                        mid_rows = rows[selected]
+                        cursors = num_points[mid_rows]
+                        times[mid_rows, cursors] = (
+                            row_starts[selected] + (k + 1) * step_sizes[selected]
+                        )
+                        recorded[mid_rows, cursors] = FlowVector.project_batch(
+                            network, state[selected]
+                        )
+                        sample_phases[mid_rows, cursors] = phase
+                        num_points[mid_rows] += 1
 
             projected = FlowVector.project_batch(network, state)
             flows[rows] = projected
-            times[rows, phase + 1] = ends[rows]
-            recorded[rows, phase + 1] = projected
+            cursors = num_points[rows]
+            times[rows, cursors] = ends[rows]
+            recorded[rows, cursors] = projected
+            sample_phases[rows, cursors] = phase
+            boundary_mask[rows, cursors] = True
             num_points[rows] += 1
+            phase_counts[rows] += 1
 
             if stop_when is not None:
                 hit = np.asarray(stop_when(ends[rows], projected, rows), dtype=bool)
@@ -480,6 +545,7 @@ class BatchSimulator(BatchEnsembleBase):
                 stop_phases[rows[hit]] = phase
 
         labels = [policy.label() for policy in self._policies]
+        dense = record_every is not None
         return BatchResult(
             network=network,
             policy_names=labels,
@@ -491,6 +557,9 @@ class BatchSimulator(BatchEnsembleBase):
             num_points=num_points,
             stop_phases=stop_phases,
             family=self.family,
+            sample_phases=sample_phases if dense else None,
+            boundary_mask=boundary_mask if dense else None,
+            phase_counts=phase_counts if dense else None,
         )
 
 
@@ -504,6 +573,7 @@ def simulate_batch(
     steps_per_phase=50,
     method: str = "rk4",
     stop_when: Optional[BatchStoppingCondition] = None,
+    record_every: Optional[int] = None,
 ) -> BatchResult:
     """Convenience wrapper mirroring :func:`repro.core.simulator.simulate`."""
     config = BatchConfig(
@@ -512,5 +582,6 @@ def simulate_batch(
         steps_per_phase=steps_per_phase,
         method=method,
         stale=stale,
+        record_every=record_every,
     )
     return BatchSimulator(network, policies, config).run(initial_flows, stop_when=stop_when)

@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--seed", type=int, default=0, help="random seed for --method agents"
     )
+    run.add_argument(
+        "--column-generation",
+        action="store_true",
+        help="grow the route set by shortest-path column generation at every "
+        "bulletin refresh instead of using the instance's enumerated paths "
+        "(fluid methods only)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="sweep the update period through the batched experiment runner"
@@ -135,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--steps-per-phase", type=int, default=50, help="sub-steps per phase")
     sweep.add_argument("--fresh", action="store_true", help="use up-to-date information instead")
+    sweep.add_argument(
+        "--column-generation",
+        action="store_true",
+        help="run every case with shortest-path column generation (cases then "
+        "execute serially; fluid methods only)",
+    )
     sweep.add_argument("--csv", default=None, help="write the result rows to this CSV file")
     sweep.add_argument("--jsonl", default=None, help="write the result rows to this JSONL file")
     sweep.add_argument(
@@ -194,6 +207,7 @@ def _cmd_simulate(
     method: str = "rk4",
     num_agents: int = 1000,
     seed: int = 0,
+    column_generation: bool = False,
 ) -> int:
     network = get_instance(instance)
     policy = POLICY_BUILDERS[policy_name](network)
@@ -207,18 +221,39 @@ def _cmd_simulate(
         if update_period <= 0:
             print("error: --period must be positive", file=sys.stderr)
             return 2
-    start = FlowVector.single_path(network, {i: 0 for i in range(network.num_commodities)})
-    start = start.blend(FlowVector.uniform(network), 0.05)
-    if method == "agents":
-        trajectory = simulate_agents(
-            network, policy, num_agents=num_agents, update_period=update_period,
-            horizon=horizon, initial_flow=start, seed=seed, stale=not fresh,
+    if column_generation:
+        if method == "agents":
+            print("error: --column-generation supports fluid methods only", file=sys.stderr)
+            return 2
+        from .largescale import ActivePathSet, simulate_with_column_generation
+
+        result = simulate_with_column_generation(
+            ActivePathSet.from_network(network),
+            POLICY_BUILDERS[policy_name],
+            update_period=update_period,
+            horizon=horizon,
+            stale=not fresh,
+            method=method,
+        )
+        trajectory = result.trajectory
+        print(
+            f"column generation: {result.network.num_paths} active paths "
+            f"({result.total_columns_added} discovered over "
+            f"{len(result.growth_events)} refreshes)"
         )
     else:
-        trajectory = simulate(
-            network, policy, update_period=update_period, horizon=horizon,
-            initial_flow=start, stale=not fresh, method=method,
-        )
+        start = FlowVector.single_path(network, {i: 0 for i in range(network.num_commodities)})
+        start = start.blend(FlowVector.uniform(network), 0.05)
+        if method == "agents":
+            trajectory = simulate_agents(
+                network, policy, num_agents=num_agents, update_period=update_period,
+                horizon=horizon, initial_flow=start, seed=seed, stale=not fresh,
+            )
+        else:
+            trajectory = simulate(
+                network, policy, update_period=update_period, horizon=horizon,
+                initial_flow=start, stale=not fresh, method=method,
+            )
     report = analyse_oscillation(trajectory)
     print(trajectory.describe())
     print(f"  update period T      = {update_period:.6g} ({'fresh info' if fresh else 'stale info'})")
@@ -248,6 +283,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --periods must contain positive numbers", file=sys.stderr)
         return 2
 
+    if args.column_generation and args.method == "agents":
+        print("error: --column-generation supports fluid methods only", file=sys.stderr)
+        return 2
+
     def build_case(params, rng):
         name = params["instance"]
         return SweepCase(
@@ -260,6 +299,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             steps_per_phase=args.steps_per_phase,
             method=args.method,
             num_agents=args.agents if args.method == "agents" else None,
+            column_generation=args.column_generation,
         )
 
     plan = ExperimentPlan.from_axes(
@@ -330,7 +370,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "simulate":
         return _cmd_simulate(
             args.instance, args.policy, args.period, args.horizon, args.fresh,
-            args.method, args.agents, args.seed,
+            args.method, args.agents, args.seed, args.column_generation,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)

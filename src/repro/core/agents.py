@@ -42,7 +42,7 @@ agree bit for bit (see ``tests/batch/test_agent_equivalence.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +51,8 @@ from ..wardrop.network import WardropNetwork
 from .bulletin import BulletinBoard
 from .policy import ReroutingPolicy
 from .trajectory import PhaseRecord, Trajectory
+
+StoppingCondition = Callable[[float, FlowVector], bool]
 
 DEFAULT_NUM_AGENTS = 1000
 
@@ -299,8 +301,18 @@ class AgentBasedSimulator:
         self.config = config
         self.final_assignment: Optional[np.ndarray] = None
 
-    def run(self, initial_flow: Optional[FlowVector] = None) -> Trajectory:
-        """Run the discrete-event simulation and return the recorded trajectory."""
+    def run(
+        self,
+        initial_flow: Optional[FlowVector] = None,
+        stop_when: Optional[StoppingCondition] = None,
+    ) -> Trajectory:
+        """Run the discrete-event simulation and return the recorded trajectory.
+
+        ``stop_when(time, flow)`` is evaluated at every phase boundary on the
+        realised flow -- the same contract as the fluid simulator's -- and
+        ends the run early when it returns ``True`` (the final state is
+        always recorded, even between ``record_interval`` samples).
+        """
         config = self.config
         network = self.network
         policy = self.policy
@@ -393,9 +405,14 @@ class AgentBasedSimulator:
                     end_flow=flow,
                 )
             )
-            if (phase + 1) % stride == 0 or phase == num_phases - 1:
+            sampled_now = (phase + 1) % stride == 0 or phase == num_phases - 1
+            if sampled_now:
                 trajectory.record(end, flow, phase)
             previous = flow
+            if stop_when is not None and stop_when(end, flow):
+                if not sampled_now:
+                    trajectory.record(end, flow, phase)
+                break
             if config.stale:
                 if end < horizon:
                     board.post(end, flow_values)
@@ -429,6 +446,7 @@ def simulate_agents(
     initial_flow: Optional[FlowVector] = None,
     seed: int = 0,
     stale: bool = True,
+    stop_when: Optional[StoppingCondition] = None,
 ) -> Trajectory:
     """Convenience wrapper around :class:`AgentBasedSimulator`."""
     config = AgentSimulationConfig(
@@ -438,4 +456,4 @@ def simulate_agents(
         seed=seed,
         stale=stale,
     )
-    return AgentBasedSimulator(network, policy, config).run(initial_flow)
+    return AgentBasedSimulator(network, policy, config).run(initial_flow, stop_when=stop_when)

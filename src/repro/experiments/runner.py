@@ -46,7 +46,7 @@ from ..wardrop.family import NetworkFamily, topology_signature
 from ..wardrop.flow import FlowVector
 from .plan import ExperimentPlan
 
-GroupKey = Tuple[Tuple, bool, str]
+GroupKey = Tuple[Tuple, bool, str, bool]
 
 Rows = List[Dict[str, object]]
 
@@ -60,9 +60,15 @@ def group_key(case: SweepCase) -> GroupKey:
     group runs as a :class:`~repro.wardrop.family.NetworkFamily` batch), the
     same information model (stale vs fresh) and the same integration method;
     policy, update period, horizon, steps-per-phase and initial flow may vary
-    per row.
+    per row.  Column-generation cases form their own groups and never batch
+    (their path dimension changes mid-run).
     """
-    return (topology_signature(case.network), case.stale, case.method)
+    return (
+        topology_signature(case.network),
+        case.stale,
+        case.method,
+        case.column_generation,
+    )
 
 
 def _case_num_agents(case: SweepCase) -> int:
@@ -76,9 +82,38 @@ def _case_num_agents(case: SweepCase) -> int:
 
 def _simulate_case(case: SweepCase) -> Trajectory:
     """Run one case through the scalar simulator (also the pool worker)."""
-    if case.method == "agents":
+    scalar_stop = case.stop_when.scalar(0) if case.stop_when is not None else None
+    if case.column_generation:
+        # Lazy import: the large-network layer is optional machinery for the
+        # runner and pulls in the shortest-path oracle stack.
+        from ..largescale.columns import ActivePathSet, simulate_with_column_generation
+
+        if case.method == "agents":
+            raise ValueError("column generation supports fluid methods only")
+        if case.initial_flow is not None:
+            raise ValueError(
+                "column-generation cases start from the uniform split on their "
+                "seed paths; initial_flow cannot be mapped onto the grown set"
+            )
         if case.stop_when is not None:
-            raise ValueError("stop_when is not supported by the agent engine")
+            raise ValueError(
+                "SweepCase.stop_when conditions are authored for the case "
+                "network's fixed path dimension; a column-generation run's "
+                "restricted path set grows mid-run, so pass a scalar "
+                "stop_when to simulate_with_column_generation directly "
+                "(it receives the flow on the current restricted network)"
+            )
+        result = simulate_with_column_generation(
+            ActivePathSet.from_network(case.network),
+            case.policy,
+            update_period=case.update_period,
+            horizon=case.horizon,
+            stale=case.stale,
+            steps_per_phase=case.steps_per_phase,
+            method=case.method,
+        )
+        return result.trajectory
+    if case.method == "agents":
         config = AgentSimulationConfig(
             num_agents=_case_num_agents(case),
             update_period=case.update_period,
@@ -86,7 +121,9 @@ def _simulate_case(case: SweepCase) -> Trajectory:
             seed=case.seed,
             stale=case.stale,
         )
-        return AgentBasedSimulator(case.network, case.policy, config).run(case.initial_flow)
+        return AgentBasedSimulator(case.network, case.policy, config).run(
+            case.initial_flow, stop_when=scalar_stop
+        )
     return simulate(
         case.network,
         case.policy,
@@ -96,7 +133,7 @@ def _simulate_case(case: SweepCase) -> Trajectory:
         stale=case.stale,
         steps_per_phase=case.steps_per_phase,
         method=case.method,
-        stop_when=case.stop_when.scalar(0) if case.stop_when is not None else None,
+        stop_when=scalar_stop,
     )
 
 
@@ -169,8 +206,6 @@ def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
         for case in cases
     ]
     if first.method == "agents":
-        if any(case.stop_when is not None for case in cases):
-            raise ValueError("stop_when is not supported by the agent engine")
         agent_config = BatchAgentConfig(
             num_agents=np.array(
                 [_case_num_agents(case) for case in cases], dtype=np.int64
@@ -180,7 +215,9 @@ def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
             seeds=np.array([case.seed for case in cases], dtype=np.int64),
             stale=first.stale,
         )
-        agent_result = BatchAgentSimulator(target, policies, agent_config).run(initial_flows)
+        agent_result = BatchAgentSimulator(target, policies, agent_config).run(
+            initial_flows, stop_when=_group_stop_when(cases)
+        )
         return [agent_result.trajectory(row) for row in range(len(cases))]
     config = BatchConfig(
         update_periods=np.array([case.update_period for case in cases], dtype=float),
@@ -277,8 +314,12 @@ def _dispatch_rows(
 
     rows_per_case: List[Optional[Rows]] = [None] * len(cases)
     leftovers: List[int] = []
-    for indices in groups.values():
-        if engine == "batch" or len(indices) > 1:
+    for key, indices in groups.items():
+        if key[3]:
+            # Column-generation cases cannot batch (growing path dimension);
+            # they run on the scalar path whatever the engine choice.
+            leftovers.extend(indices)
+        elif engine == "batch" or len(indices) > 1:
             for index, trajectory in zip(
                 indices, _run_batch_group([cases[i] for i in indices])
             ):

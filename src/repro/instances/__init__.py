@@ -16,6 +16,14 @@ from .parallel_links import (
 from .pigou import pigou_equilibrium, pigou_network, pigou_optimal_cost
 from .random_networks import random_layered_network
 from .registry import available_instances, get_instance, register_instance
+from .tntp import (
+    SIOUX_FALLS_REFERENCE_TSTT,
+    TntpLink,
+    load_tntp_instance,
+    parse_tntp_network,
+    parse_tntp_trips,
+    sioux_falls_network,
+)
 from .two_links import (
     equilibrium_flow,
     lopsided_flow,
@@ -24,6 +32,8 @@ from .two_links import (
 )
 
 __all__ = [
+    "SIOUX_FALLS_REFERENCE_TSTT",
+    "TntpLink",
     "available_instances",
     "braess_equilibrium",
     "braess_equilibrium_latency",
@@ -33,14 +43,18 @@ __all__ = [
     "grid_network",
     "heterogeneous_affine_links",
     "identical_linear_links",
+    "load_tntp_instance",
     "lopsided_flow",
     "oscillation_initial_flow",
     "parallel_links_network",
+    "parse_tntp_network",
+    "parse_tntp_trips",
     "pigou_equilibrium",
     "pigou_network",
     "pigou_optimal_cost",
     "pigou_like_links",
     "random_layered_network",
     "register_instance",
+    "sioux_falls_network",
     "two_link_network",
 ]

@@ -15,6 +15,7 @@ from .grids import grid_network
 from .parallel_links import heterogeneous_affine_links, identical_linear_links, pigou_like_links
 from .pigou import pigou_network
 from .random_networks import random_layered_network
+from .tntp import sioux_falls_network
 from .two_links import two_link_network
 
 InstanceFactory = Callable[[], WardropNetwork]
@@ -33,6 +34,10 @@ _REGISTRY: Dict[str, InstanceFactory] = {
     "grid-3x3": lambda: grid_network(3, 3, num_commodities=1, seed=3),
     "grid-3x3-2c": lambda: grid_network(3, 3, num_commodities=2, seed=3),
     "random-layered": lambda: random_layered_network(num_layers=3, width=3, seed=11),
+    # Real road networks (TNTP fixtures): restricted path sets seeded with
+    # free-flow shortest paths, meant to grow by column generation.
+    "sioux-falls": sioux_falls_network,
+    "sioux-falls-mini": lambda: sioux_falls_network(max_od_pairs=40),
 }
 
 

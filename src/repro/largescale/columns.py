@@ -1,0 +1,400 @@
+"""Active path sets: shortest-path column generation at bulletin refreshes.
+
+On real road networks the strategy sets ``P_i`` are astronomically large, so
+the reproduction cannot hand every agent the full path list.  What it *can*
+do -- and what matches the paper's information model -- is let the set of
+*known* routes grow exactly when new information arrives: at every bulletin
+board refresh a shortest-path oracle is queried against the freshly posted
+edge latencies, and any cheapest route not yet in the restricted set becomes
+a new column (a new path with zero flow that agents may now sample and
+migrate onto).  Between refreshes the dynamics run unchanged on the current
+restricted :class:`~repro.wardrop.network.WardropNetwork`.
+
+:class:`ActivePathSet` manages the restricted set (the classic
+:class:`~repro.wardrop.paths.PathSet` is recovered as the *closed* special
+case where augmentation is disabled), and
+:func:`simulate_with_column_generation` drives the rerouting dynamics on it,
+phase by phase, rebuilding the restricted network whenever a refresh
+discovers new routes.
+
+Column generation is **exact at equilibrium** for the Beckmann problem: if
+the restricted dynamics settle at a flow whose shortest path (under live
+latencies) is already in the set and carries no latency advantage, that flow
+is a Wardrop equilibrium of the *full* network -- the oracle certificate is
+the same one Frank--Wolfe uses.  Away from equilibrium it is a heuristic:
+routes are only discovered at refresh instants, so a transient may
+temporarily route along suboptimal known paths (which is precisely the
+staleness phenomenon the paper studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from ..core.dynamics import integrate, integration_step_for
+from ..core.policy import ReroutingPolicy
+from ..core.trajectory import PhaseRecord, Trajectory
+from ..wardrop.commodity import Commodity, normalise_demands
+from ..wardrop.flow import FlowVector
+from ..wardrop.network import WardropNetwork
+from ..wardrop.paths import Path, PathSet
+from .shortest import ShortestPathOracle
+
+PolicyOrBuilder = Union[ReroutingPolicy, Callable[[WardropNetwork], ReroutingPolicy]]
+
+
+class ActivePathSet:
+    """A growing restricted path set backed by a shortest-path oracle.
+
+    Parameters
+    ----------
+    graph:
+        The full multigraph (edges carry
+        :class:`~repro.wardrop.latency.LatencyFunction` attributes).
+    commodities:
+        The OD pairs; demands are normalised once here so every rebuilt
+        restricted network shares the exact same demand vector.
+    initial_paths:
+        Optional seed paths per commodity (``Sequence[Sequence[Path]]``).
+        Defaults to one free-flow shortest path per commodity -- the routes
+        agents would know before any congestion information exists.
+    closed:
+        If ``True`` augmentation is a no-op: the set behaves exactly like
+        the classic fixed :class:`PathSet` (the closed special case).
+    first_thru_node:
+        TNTP centroid bound forwarded to the oracle.
+    incidence_mode:
+        Incidence backend for the restricted networks (``"auto"`` default).
+    """
+
+    def __init__(
+        self,
+        graph: nx.MultiDiGraph,
+        commodities: Sequence[Commodity],
+        initial_paths: Optional[Sequence[Sequence[Path]]] = None,
+        closed: bool = False,
+        first_thru_node: Optional[int] = None,
+        incidence_mode: str = "auto",
+    ):
+        self.graph = graph
+        self.commodities: List[Commodity] = list(normalise_demands(list(commodities)))
+        self.closed = closed
+        self.incidence_mode = incidence_mode
+        self.oracle = ShortestPathOracle(
+            graph, self.commodities, first_thru_node=first_thru_node
+        )
+        if initial_paths is None:
+            seeds = self.oracle.shortest_commodity_paths(self.oracle.free_flow_costs())
+            initial_paths = [[seed] for seed in seeds]
+        self._paths_by_commodity: List[List[Path]] = [
+            list(paths) for paths in initial_paths
+        ]
+        if len(self._paths_by_commodity) != len(self.commodities):
+            raise ValueError(
+                f"initial paths cover {len(self._paths_by_commodity)} commodities, "
+                f"instance has {len(self.commodities)}"
+            )
+        self._known = {
+            path for paths in self._paths_by_commodity for path in paths
+        }
+        self.version = 0
+        self._network: Optional[WardropNetwork] = None
+
+    @classmethod
+    def from_network(cls, network: WardropNetwork, closed: bool = False) -> "ActivePathSet":
+        """Wrap an existing network's graph and commodities.
+
+        ``closed=True`` seeds with the network's full enumerated path set
+        and freezes it -- the restricted dynamics are then *identical* to
+        the classic fixed-path-set dynamics.  ``closed=False`` starts from
+        free-flow shortest paths and grows from there (the network's own
+        path set is used only when it was itself built restricted).
+
+        An explicitly sparse source network keeps the sparse backend for
+        every rebuilt restricted network; dense sources stay on ``"auto"``
+        so growth past the size threshold can still upgrade to CSR.
+        """
+        from .incidence import SparseIncidence
+
+        initial: Optional[Sequence[Sequence[Path]]] = None
+        if closed:
+            initial = [
+                network.paths.commodity_paths(i)
+                for i in range(network.num_commodities)
+            ]
+        mode = (
+            "sparse"
+            if isinstance(network.incidence_operator, SparseIncidence)
+            else "auto"
+        )
+        return cls(
+            network.graph,
+            network.commodities,
+            initial_paths=initial,
+            closed=closed,
+            first_thru_node=network.graph.graph.get("first_thru_node"),
+            incidence_mode=mode,
+        )
+
+    # Structure --------------------------------------------------------------
+
+    @property
+    def num_paths(self) -> int:
+        return sum(len(paths) for paths in self._paths_by_commodity)
+
+    def path_set(self) -> PathSet:
+        """Return the current restricted :class:`PathSet` (fresh object)."""
+        return PathSet(self._paths_by_commodity)
+
+    @property
+    def network(self) -> WardropNetwork:
+        """The restricted network over the current path set (cached)."""
+        if self._network is None:
+            self._network = WardropNetwork(
+                self.graph,
+                self.commodities,
+                normalise=False,
+                paths=self.path_set(),
+                incidence_mode=self.incidence_mode,
+            )
+        return self._network
+
+    # Growth -----------------------------------------------------------------
+
+    def augment(self, edge_costs: np.ndarray) -> List[Path]:
+        """Grow the set by the cheapest paths under ``edge_costs``.
+
+        ``edge_costs`` is an oracle-order cost vector (typically the posted
+        edge latencies, expanded to the full graph).  Returns the list of
+        *new* paths (empty if every commodity's cheapest route was already
+        known, or if the set is closed).
+        """
+        if self.closed:
+            return []
+        added: List[Path] = []
+        for path in self.oracle.shortest_commodity_paths(edge_costs):
+            if path not in self._known:
+                self._known.add(path)
+                self._paths_by_commodity[path.commodity_index].append(path)
+                added.append(path)
+        if added:
+            self.version += 1
+            self._network = None
+        return added
+
+    def posted_costs(self, network: WardropNetwork, path_flows: np.ndarray) -> np.ndarray:
+        """Full-graph edge latencies induced by restricted path flows.
+
+        Edges off every known path carry zero flow, so their posted latency
+        is the free-flow value -- exactly what a bulletin board covering the
+        whole network would display.
+        """
+        full_flows = self.oracle.expand_edge_values(
+            network, network.edge_flows(path_flows)
+        )
+        return self.oracle.latency_costs(network, full_flows)
+
+    def embed(
+        self,
+        values: np.ndarray,
+        old_network: WardropNetwork,
+        new_network: WardropNetwork,
+    ) -> np.ndarray:
+        """Re-express a flow vector of ``old_network`` on ``new_network``.
+
+        Newly generated columns start with zero flow; every old path keeps
+        its value (the restricted set only ever grows).
+        """
+        embedded = np.zeros(new_network.num_paths)
+        for index, path in enumerate(old_network.paths):
+            embedded[new_network.paths.index_of(path)] = values[index]
+        return embedded
+
+    def __repr__(self) -> str:
+        return (
+            f"ActivePathSet(paths={self.num_paths}, "
+            f"commodities={len(self.commodities)}, version={self.version}, "
+            f"closed={self.closed})"
+        )
+
+
+@dataclass
+class ColumnGenerationResult:
+    """The outcome of a column-generation simulation run.
+
+    ``trajectory`` is recorded on the *final* restricted network (earlier
+    samples are embedded, with zero flow on later-discovered columns), so
+    the whole analysis toolkit applies unchanged.  ``growth_events`` lists
+    ``(phase_index, new_paths)`` pairs for every refresh that discovered
+    routes; ``path_counts`` traces the restricted set's size per phase.
+    """
+
+    trajectory: Trajectory
+    network: WardropNetwork
+    active: ActivePathSet
+    growth_events: List[Tuple[int, List[Path]]] = field(default_factory=list)
+    path_counts: List[int] = field(default_factory=list)
+
+    @property
+    def final_flow(self) -> FlowVector:
+        return self.trajectory.final_flow
+
+    @property
+    def total_columns_added(self) -> int:
+        return sum(len(paths) for _, paths in self.growth_events)
+
+
+def _resolve_policy(policy: PolicyOrBuilder, network: WardropNetwork) -> ReroutingPolicy:
+    if isinstance(policy, ReroutingPolicy):
+        return policy
+    return policy(network)
+
+
+def simulate_with_column_generation(
+    active: ActivePathSet,
+    policy: PolicyOrBuilder,
+    update_period: float,
+    horizon: float,
+    initial_flow: Optional[FlowVector] = None,
+    stale: bool = True,
+    steps_per_phase: int = 50,
+    method: str = "rk4",
+    stop_when: Optional[Callable[[float, FlowVector], bool]] = None,
+) -> ColumnGenerationResult:
+    """Run the rerouting dynamics with column generation at every refresh.
+
+    The loop mirrors the scalar
+    :class:`~repro.core.simulator.ReroutingSimulator` phase for phase.  At
+    each bulletin refresh the oracle is queried against the *posted* edge
+    latencies (stale mode) or the live ones (fresh mode); newly discovered
+    routes join the restricted set with zero flow before the phase
+    integrates, so agents can sample them for the rest of the run -- route
+    discovery is tied to information arrival, as in the paper's model.
+
+    ``policy`` may be a fixed :class:`ReroutingPolicy` (reused across
+    growth, e.g. one whose migration constant covers the full network) or a
+    builder ``network -> policy`` re-invoked after every growth event.
+    ``stop_when(time, flow)`` is evaluated at phase boundaries, exactly like
+    the scalar simulator's.
+    """
+    if update_period <= 0 or horizon <= 0:
+        raise ValueError("update period and horizon must be positive")
+    if steps_per_phase <= 0:
+        raise ValueError("steps_per_phase must be positive")
+    network = active.network
+    flow = initial_flow or FlowVector.uniform(network)
+    if flow.network is not network:
+        raise ValueError("initial flow belongs to a different network")
+    values = flow.values()
+    current_policy = _resolve_policy(policy, network)
+    step = integration_step_for(update_period, steps_per_phase)
+
+    # Samples are stored as raw arrays tagged with the path-set version; the
+    # final trajectory embeds them all on the last restricted network.
+    samples: List[Tuple[float, WardropNetwork, np.ndarray, int]] = [
+        (0.0, network, values.copy(), 0)
+    ]
+    boundaries: List[Tuple[int, float, float, np.ndarray, np.ndarray, WardropNetwork]] = []
+    growth_events: List[Tuple[int, List[Path]]] = []
+    path_counts: List[int] = []
+
+    num_phases = int(np.ceil(horizon / update_period))
+    posted_time = -np.inf
+    posted_values: Optional[np.ndarray] = None
+    for phase in range(num_phases):
+        phase_start = phase * update_period
+        phase_end = min((phase + 1) * update_period, horizon)
+
+        if stale:
+            # The board refreshes on exactly the scalar BulletinBoard's
+            # schedule, including the floating-point floor(t/T) quirk that
+            # occasionally leaves a snapshot in place for one more phase --
+            # closed-mode runs stay bit-identical to the scalar simulator.
+            refresh_time = float(
+                np.floor(phase_start / update_period) * update_period
+            )
+            refresh = posted_values is None or refresh_time > posted_time + 1e-12
+        else:
+            refresh_time = phase_start
+            refresh = True
+        if refresh:
+            # Refresh instant: the board posts the live flow, and the oracle
+            # is consulted on exactly what the board shows.
+            costs = active.posted_costs(network, values)
+            added = active.augment(costs)
+            if added:
+                growth_events.append((phase, added))
+                new_network = active.network
+                values = active.embed(values, network, new_network)
+                network = new_network
+                current_policy = _resolve_policy(policy, network)
+            posted_values = values.copy()
+            posted_time = refresh_time
+        path_counts.append(network.num_paths)
+
+        start_values = values.copy()
+        if stale:
+            posted_latencies = network.path_latencies(posted_values)
+            field_fn = current_policy.frozen_growth_field(
+                network, posted_values, posted_latencies
+            )
+        else:
+            policy_ref = current_policy
+            network_ref = network
+
+            def field_fn(_t: float, state: np.ndarray) -> np.ndarray:
+                live = network_ref.path_latencies(state)
+                return policy_ref.growth_rates(network_ref, state, state, live)
+
+        raw = integrate(field_fn, values, phase_start, phase_end, step, method)
+        values = FlowVector(network, raw, validate=False).projected().values()
+        boundaries.append(
+            (phase, phase_start, phase_end, start_values, values.copy(), network)
+        )
+        samples.append((phase_end, network, values.copy(), phase))
+        if stop_when is not None and stop_when(
+            phase_end, FlowVector(network, values, validate=False)
+        ):
+            break
+        if phase_end >= horizon:
+            break
+
+    final_network = network
+    trajectory = Trajectory(
+        network=final_network,
+        policy_name=current_policy.label() + " +column-generation",
+        update_period=update_period if stale else 0.0,
+    )
+    for time, sample_network, sample_values, phase_index in samples:
+        embedded = (
+            sample_values
+            if sample_network is final_network
+            else active.embed(sample_values, sample_network, final_network)
+        )
+        trajectory.record(
+            time, FlowVector(final_network, embedded, validate=False), phase_index
+        )
+    for phase, start_time, end_time, start_values, end_values, sample_network in boundaries:
+        if sample_network is not final_network:
+            start_values = active.embed(start_values, sample_network, final_network)
+            end_values = active.embed(end_values, sample_network, final_network)
+        trajectory.record_phase(
+            PhaseRecord(
+                index=phase,
+                start_time=start_time,
+                end_time=end_time,
+                start_flow=FlowVector(final_network, start_values, validate=False),
+                end_flow=FlowVector(final_network, end_values, validate=False),
+            )
+        )
+    return ColumnGenerationResult(
+        trajectory=trajectory,
+        network=final_network,
+        active=active,
+        growth_events=growth_events,
+        path_counts=path_counts,
+    )

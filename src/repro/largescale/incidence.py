@@ -1,0 +1,215 @@
+"""The edge--path incidence matrix as a first-class evaluation object.
+
+Every path-level quantity of the Wardrop model factors through the 0/1
+incidence matrix ``A`` with ``A[e, p] = 1`` iff edge ``e`` lies on path
+``p``: edge flows are ``A @ f``, path latencies are ``A.T @ l`` and the
+batched engines apply the same two products row by row.  On the paper's toy
+instances a dense ``A`` is perfectly fine, but on road networks with
+hundreds of OD pairs the matrix is overwhelmingly sparse (a path touches a
+handful of the edges), so :class:`SparseIncidence` stores both orientations
+in CSR form and evaluates in ``O(nnz)``.
+
+Both backends expose the same four products.  The dense backend performs
+*exactly* the expressions the network historically inlined (``A @ x``,
+``x @ A.T``, ``A.T @ v``, ``v @ A``), so existing instances keep their
+bit-for-bit batch/scalar equivalence; the sparse backend accumulates each
+row's nonzeros in one fixed index order for the scalar *and* the batched
+product, so the two sparse paths also agree bit for bit with each other.
+
+``scipy`` is an optional dependency: :func:`build_incidence` falls back to
+the dense backend when it is missing, so nothing in the library hard-requires
+it (``mode="sparse"`` raises a clear error instead).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+import numpy as np
+
+try:  # pragma: no cover - exercised implicitly on import
+    from scipy import sparse as _sparse
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _sparse = None
+    _HAVE_SCIPY = False
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..wardrop.paths import EdgeKey, PathSet
+
+# Auto mode switches to the sparse backend once the dense matrix would hold
+# this many entries; small instances keep the historical dense arithmetic.
+AUTO_SPARSE_THRESHOLD = 200_000
+
+
+def have_scipy() -> bool:
+    """Return ``True`` if the sparse backend is available."""
+    return _HAVE_SCIPY
+
+
+class EdgeIncidence:
+    """Common interface of the dense and sparse incidence backends.
+
+    ``shape`` is ``(num_edges, num_paths)``.  The four products are the only
+    incidence arithmetic the library performs:
+
+    * :meth:`edge_flows` / :meth:`edge_flows_batch` -- ``A @ f`` on a path
+      flow vector ``(P,)`` or batch ``(B, P)``,
+    * :meth:`path_totals` / :meth:`path_totals_batch` -- ``A.T @ v`` on an
+      edge-value vector ``(E,)`` or batch ``(B, E)`` (posted latencies,
+      gradient terms ...).
+    """
+
+    shape: tuple
+
+    @property
+    def num_edges(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_paths(self) -> int:
+        return self.shape[1]
+
+    def edge_flows(self, path_flows: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def edge_flows_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def path_totals(self, edge_values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def path_totals_batch(self, edge_values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def dense(self) -> np.ndarray:
+        """Return (and cache) the dense ``(E, P)`` matrix."""
+        raise NotImplementedError
+
+    @property
+    def nnz(self) -> int:
+        """Number of (edge, path) memberships."""
+        raise NotImplementedError
+
+
+class DenseIncidence(EdgeIncidence):
+    """The historical dense backend: plain BLAS products on a 0/1 array."""
+
+    def __init__(self, matrix: np.ndarray):
+        self._matrix = np.asarray(matrix, dtype=float)
+        self.shape = self._matrix.shape
+
+    def edge_flows(self, path_flows: np.ndarray) -> np.ndarray:
+        return self._matrix @ np.asarray(path_flows, dtype=float)
+
+    def edge_flows_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        return np.asarray(path_flows, dtype=float) @ self._matrix.T
+
+    def path_totals(self, edge_values: np.ndarray) -> np.ndarray:
+        return self._matrix.T @ np.asarray(edge_values, dtype=float)
+
+    def path_totals_batch(self, edge_values: np.ndarray) -> np.ndarray:
+        return np.asarray(edge_values, dtype=float) @ self._matrix
+
+    def dense(self) -> np.ndarray:
+        return self._matrix
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self._matrix))
+
+    def __repr__(self) -> str:
+        return f"DenseIncidence(edges={self.shape[0]}, paths={self.shape[1]})"
+
+
+class SparseIncidence(EdgeIncidence):
+    """CSR incidence in both orientations, ``O(nnz)`` per product.
+
+    The edge-major CSR drives the ``A @ f`` products and the path-major CSR
+    the ``A.T @ v`` products; storing both avoids the implicit CSR->CSC
+    transpose conversion scipy would otherwise perform per call.  Batched
+    inputs are evaluated as ``(M @ X.T).T`` so each output row accumulates
+    the same nonzeros in the same order as the scalar product -- the sparse
+    scalar and batched paths therefore agree bit for bit.
+    """
+
+    def __init__(self, membership_rows: Sequence[np.ndarray], num_paths: int):
+        if not _HAVE_SCIPY:
+            raise ImportError(
+                "SparseIncidence requires scipy; install it or use mode='dense'"
+            )
+        indptr = np.zeros(len(membership_rows) + 1, dtype=np.int64)
+        counts = [len(indices) for indices in membership_rows]
+        np.cumsum(counts, out=indptr[1:])
+        indices = (
+            np.concatenate([np.asarray(row, dtype=np.int64) for row in membership_rows])
+            if membership_rows and indptr[-1] > 0
+            else np.zeros(0, dtype=np.int64)
+        )
+        data = np.ones(len(indices), dtype=float)
+        self.shape = (len(membership_rows), int(num_paths))
+        self._by_edge = _sparse.csr_matrix((data, indices, indptr), shape=self.shape)
+        self._by_path = self._by_edge.T.tocsr()
+        self._dense_cache: np.ndarray = None
+
+    def edge_flows(self, path_flows: np.ndarray) -> np.ndarray:
+        return self._by_edge @ np.asarray(path_flows, dtype=float)
+
+    def edge_flows_batch(self, path_flows: np.ndarray) -> np.ndarray:
+        flows = np.asarray(path_flows, dtype=float)
+        return (self._by_edge @ flows.T).T
+
+    def path_totals(self, edge_values: np.ndarray) -> np.ndarray:
+        return self._by_path @ np.asarray(edge_values, dtype=float)
+
+    def path_totals_batch(self, edge_values: np.ndarray) -> np.ndarray:
+        values = np.asarray(edge_values, dtype=float)
+        return (self._by_path @ values.T).T
+
+    def dense(self) -> np.ndarray:
+        if self._dense_cache is None:
+            self._dense_cache = self._by_edge.toarray()
+        return self._dense_cache
+
+    @property
+    def nnz(self) -> int:
+        return int(self._by_edge.nnz)
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseIncidence(edges={self.shape[0]}, paths={self.shape[1]}, "
+            f"nnz={self.nnz})"
+        )
+
+
+def build_incidence(
+    paths: "PathSet",
+    edges: Sequence["EdgeKey"],
+    mode: str = "auto",
+) -> EdgeIncidence:
+    """Build the incidence backend for a path set over a fixed edge order.
+
+    ``mode`` is ``"dense"``, ``"sparse"`` or ``"auto"`` (sparse once the
+    dense matrix would exceed :data:`AUTO_SPARSE_THRESHOLD` entries and
+    scipy is available).  Both backends consume the path set's shared
+    :meth:`~repro.wardrop.paths.PathSet.edge_membership` map, so the
+    membership scan over all paths runs exactly once.
+    """
+    if mode not in ("auto", "dense", "sparse"):
+        raise ValueError(f"unknown incidence mode {mode!r}")
+    num_paths = len(paths)
+    membership: Dict = paths.edge_membership()
+    rows: List[np.ndarray] = [
+        membership.get(edge, np.zeros(0, dtype=np.int64)) for edge in edges
+    ]
+    if mode == "sparse" or (
+        mode == "auto"
+        and _HAVE_SCIPY
+        and len(edges) * num_paths > AUTO_SPARSE_THRESHOLD
+    ):
+        return SparseIncidence(rows, num_paths)
+    matrix = np.zeros((len(edges), num_paths))
+    for edge_index, indices in enumerate(rows):
+        matrix[edge_index, indices] = 1.0
+    return DenseIncidence(matrix)

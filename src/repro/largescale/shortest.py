@@ -1,0 +1,258 @@
+"""Shortest-path oracle over the full graph, and all-or-nothing loading.
+
+Large instances are driven by *oracles* instead of path enumeration: given
+the current (or posted) edge costs, a Dijkstra query returns one cheapest
+``s -> t`` path, and loading every commodity's whole demand onto its
+cheapest path yields the classical all-or-nothing flow -- the direction
+oracle of Frank--Wolfe and the column generator of
+:class:`~repro.largescale.columns.ActivePathSet`.
+
+The oracle owns the canonical ordering of *all* graph edges (the restricted
+network's :attr:`~repro.wardrop.network.WardropNetwork.edges` only lists
+edges on enumerated paths) and exposes cost vectors over that order.
+
+First-thru-node semantics (TNTP): road-network files mark the first node
+that real traffic may pass *through*; lower-numbered nodes are zone
+centroids that can appear only as origins or destinations.  The oracle
+enforces this during the Dijkstra expansion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..wardrop.commodity import Commodity
+from ..wardrop.network import LATENCY_ATTR
+from ..wardrop.paths import EdgeKey, Path
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class AllOrNothingLoad:
+    """The result of one all-or-nothing assignment.
+
+    ``edge_flows`` is indexed by the oracle's edge order; ``sptt`` is the
+    shortest-path travel time ``sum_i r_i * dist(s_i, t_i)`` under the query
+    costs -- the lower bound that relative duality gaps are measured against.
+    """
+
+    edge_flows: np.ndarray
+    sptt: float
+
+
+class ShortestPathOracle:
+    """Dijkstra queries against pluggable edge costs on a fixed multigraph.
+
+    Parameters
+    ----------
+    graph:
+        The full ``networkx.MultiDiGraph`` (parallel edges allowed).
+    commodities:
+        The OD pairs whose sources group the one-to-many queries.
+    first_thru_node:
+        Optional TNTP-style centroid bound: integer nodes strictly below it
+        may start or end a path but never be passed through.
+    """
+
+    def __init__(
+        self,
+        graph: nx.MultiDiGraph,
+        commodities: Sequence[Commodity],
+        first_thru_node: Optional[int] = None,
+    ):
+        self.graph = graph
+        self.commodities: List[Commodity] = list(commodities)
+        self.first_thru_node = first_thru_node
+        # Canonical edge order: the same string sort PathSet.edges() uses, so
+        # positions are stable across restricted networks of one graph.
+        self.edges: List[EdgeKey] = sorted(graph.edges(keys=True), key=str)
+        self.edge_index: Dict[EdgeKey, int] = {e: i for i, e in enumerate(self.edges)}
+        self._adjacency: Dict[Hashable, List[Tuple[int, Hashable]]] = {
+            node: [] for node in graph.nodes
+        }
+        for index, (u, v, _key) in enumerate(self.edges):
+            self._adjacency[u].append((index, v))
+        self._sinks_by_source: Dict[Hashable, List[Tuple[int, Hashable]]] = {}
+        for i, commodity in enumerate(self.commodities):
+            if commodity.source not in self._adjacency or commodity.sink not in self._adjacency:
+                raise ValueError(
+                    f"commodity endpoints {commodity.source!r}->{commodity.sink!r} "
+                    "missing from graph"
+                )
+            self._sinks_by_source.setdefault(commodity.source, []).append(
+                (i, commodity.sink)
+            )
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def _blocked_through(self, node: Hashable) -> bool:
+        """True if ``node`` is a centroid that may not be passed through."""
+        return (
+            self.first_thru_node is not None
+            and isinstance(node, (int, np.integer))
+            and node < self.first_thru_node
+        )
+
+    # Cost vectors ----------------------------------------------------------
+
+    def free_flow_costs(self, network=None) -> np.ndarray:
+        """Return every edge's latency at zero flow (the Dijkstra seed costs).
+
+        With a ``network`` the (override-aware) ``latency_function`` lookup
+        is used; without one the latencies are read straight off the graph's
+        edge attributes -- the pre-network situation of the TNTP loader and
+        of :class:`~repro.largescale.columns.ActivePathSet` seeding.
+        """
+        if network is not None:
+            return np.array(
+                [network.latency_function(edge).value(0.0) for edge in self.edges]
+            )
+        return np.array(
+            [
+                self.graph[u][v][key][LATENCY_ATTR].value(0.0)
+                for (u, v, key) in self.edges
+            ]
+        )
+
+    def latency_costs(self, network, edge_flows: np.ndarray) -> np.ndarray:
+        """Evaluate every graph edge's latency at the given oracle-order flows."""
+        edge_flows = np.asarray(edge_flows, dtype=float)
+        return np.array(
+            [
+                network.latency_function(edge).value(edge_flows[i])
+                for i, edge in enumerate(self.edges)
+            ]
+        )
+
+    def network_edge_positions(self, network) -> np.ndarray:
+        """Map ``network.edges`` (on-path edges) to oracle edge positions."""
+        return np.array([self.edge_index[edge] for edge in network.edges], dtype=np.int64)
+
+    def expand_edge_values(self, network, values: np.ndarray) -> np.ndarray:
+        """Scatter per-``network.edges`` values into a full oracle-order vector.
+
+        Off-path edges get zero -- exactly right for edge *flows* of a
+        restricted network (no enumerated path crosses them).
+        """
+        full = np.zeros(self.num_edges)
+        full[self.network_edge_positions(network)] = np.asarray(values, dtype=float)
+        return full
+
+    # Queries ---------------------------------------------------------------
+
+    def _dijkstra(
+        self,
+        source: Hashable,
+        costs: np.ndarray,
+        targets: Optional[set] = None,
+    ) -> Tuple[Dict[Hashable, float], Dict[Hashable, int]]:
+        """One-to-many Dijkstra; returns distance and predecessor-edge maps.
+
+        Expansion stops early once every target is settled.  Ties are broken
+        by heap insertion order, which is deterministic for fixed costs.
+        """
+        costs = np.asarray(costs, dtype=float)
+        if len(costs) != self.num_edges:
+            raise ValueError(
+                f"cost vector has length {len(costs)}, oracle has {self.num_edges} edges"
+            )
+        if np.any(costs < 0):
+            raise ValueError("Dijkstra requires non-negative edge costs")
+        distance: Dict[Hashable, float] = {source: 0.0}
+        predecessor: Dict[Hashable, int] = {}
+        settled: set = set()
+        remaining = set(targets) if targets is not None else None
+        counter = 0
+        heap: List[Tuple[float, int, Hashable]] = [(0.0, counter, source)]
+        while heap:
+            dist, _, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if remaining is not None:
+                remaining.discard(node)
+                if not remaining:
+                    break
+            if node != source and self._blocked_through(node):
+                continue
+            for edge_position, neighbour in self._adjacency[node]:
+                candidate = dist + costs[edge_position]
+                if candidate < distance.get(neighbour, INFINITY):
+                    distance[neighbour] = candidate
+                    predecessor[neighbour] = edge_position
+                    counter += 1
+                    heapq.heappush(heap, (candidate, counter, neighbour))
+        return distance, predecessor
+
+    def _trace(self, source: Hashable, sink: Hashable, predecessor: Dict[Hashable, int]):
+        """Backtrack predecessor edges into the source->sink edge sequence."""
+        edges: List[EdgeKey] = []
+        node = sink
+        while node != source:
+            edge_position = predecessor[node]
+            edge = self.edges[edge_position]
+            edges.append(edge)
+            node = edge[0]
+        edges.reverse()
+        return tuple(edges)
+
+    def shortest_path(
+        self, source: Hashable, sink: Hashable, costs: np.ndarray
+    ) -> Tuple[Tuple[EdgeKey, ...], float]:
+        """Return one cheapest ``source -> sink`` edge sequence and its cost."""
+        distance, predecessor = self._dijkstra(source, costs, targets={sink})
+        if sink not in distance or distance[sink] == INFINITY:
+            raise ValueError(f"no path from {source!r} to {sink!r}")
+        return self._trace(source, sink, predecessor), float(distance[sink])
+
+    def shortest_commodity_paths(self, costs: np.ndarray) -> List[Path]:
+        """Return one cheapest path per commodity (one Dijkstra per source)."""
+        results: List[Optional[Path]] = [None] * len(self.commodities)
+        for source, pairs in self._sinks_by_source.items():
+            distance, predecessor = self._dijkstra(
+                source, costs, targets={sink for _, sink in pairs}
+            )
+            for commodity_index, sink in pairs:
+                if sink not in distance:
+                    raise ValueError(f"no path from {source!r} to {sink!r}")
+                results[commodity_index] = Path(
+                    self._trace(source, sink, predecessor), commodity_index
+                )
+        return results  # type: ignore[return-value]
+
+    def all_or_nothing(
+        self, costs: np.ndarray, demands: Optional[np.ndarray] = None
+    ) -> AllOrNothingLoad:
+        """Load every commodity's demand onto its cheapest path.
+
+        ``demands`` defaults to the commodity demands; the result's
+        ``edge_flows`` live on the oracle's edge order and ``sptt`` is the
+        demand-weighted shortest-path travel time.
+        """
+        if demands is None:
+            demands = np.array([c.demand for c in self.commodities])
+        flows = np.zeros(self.num_edges)
+        sptt = 0.0
+        for source, pairs in self._sinks_by_source.items():
+            distance, predecessor = self._dijkstra(
+                source, costs, targets={sink for _, sink in pairs}
+            )
+            for commodity_index, sink in pairs:
+                if sink not in distance:
+                    raise ValueError(f"no path from {source!r} to {sink!r}")
+                demand = float(demands[commodity_index])
+                sptt += distance[sink] * demand
+                node = sink
+                while node != source:
+                    edge_position = predecessor[node]
+                    flows[edge_position] += demand
+                    node = self.edges[edge_position][0]
+        return AllOrNothingLoad(edge_flows=flows, sptt=float(sptt))

@@ -6,6 +6,12 @@ these solvers compute the same equilibria by classical convex optimisation
 parallel links) so that the dynamics can be validated against them.
 """
 
+from .edge_frank_wolfe import (
+    EdgeEquilibriumResult,
+    edge_potential,
+    relative_duality_gap,
+    solve_edge_flow_equilibrium,
+)
 from .frank_wolfe import (
     EquilibriumResult,
     all_or_nothing_flow,
@@ -17,13 +23,17 @@ from .line_search import bisection_root, golden_section_minimise
 from .parallel_links import equilibrium_latency_level, solve_parallel_links
 
 __all__ = [
+    "EdgeEquilibriumResult",
     "EquilibriumResult",
     "all_or_nothing_flow",
     "bisection_root",
     "duality_gap",
+    "edge_potential",
     "equilibrium_latency_level",
     "golden_section_minimise",
     "optimal_potential",
+    "relative_duality_gap",
+    "solve_edge_flow_equilibrium",
     "solve_parallel_links",
     "solve_wardrop_equilibrium",
 ]

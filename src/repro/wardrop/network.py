@@ -22,6 +22,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 import networkx as nx
 import numpy as np
 
+from ..largescale.incidence import EdgeIncidence, build_incidence
 from .commodity import Commodity, demands_are_normalised, normalise_demands
 from .latency import LatencyFunction
 from .paths import EdgeKey, Path, PathSet, build_path_set
@@ -45,6 +46,19 @@ class WardropNetwork:
         demands must already be normalised.
     max_paths:
         Safety bound on the number of enumerated paths per commodity.
+    paths:
+        Optional prebuilt :class:`~repro.wardrop.paths.PathSet`.  When given,
+        no path enumeration runs at all -- this is how the large-network
+        layer builds *restricted* networks over column-generated path sets
+        on graphs whose full path sets are astronomically large.  The paths
+        must be valid simple paths of ``graph`` connecting each commodity's
+        endpoints, in commodity order.
+    incidence_mode:
+        ``"auto"`` (default), ``"dense"`` or ``"sparse"`` -- the backend of
+        the edge--path incidence matrix (see
+        :func:`repro.largescale.incidence.build_incidence`).  Auto keeps the
+        historical dense arithmetic on small instances and switches to CSR
+        products on large ones.
     """
 
     def __init__(
@@ -53,6 +67,8 @@ class WardropNetwork:
         commodities: Sequence[Commodity],
         normalise: bool = True,
         max_paths: int = 10_000,
+        paths: Optional[PathSet] = None,
+        incidence_mode: str = "auto",
     ):
         if not commodities:
             raise ValueError("a Wardrop instance needs at least one commodity")
@@ -63,15 +79,18 @@ class WardropNetwork:
         self.graph = graph
         self.commodities: List[Commodity] = list(commodities)
         self._check_latencies()
-        self.paths: PathSet = build_path_set(graph, self.commodities, max_paths=max_paths)
+        if paths is None:
+            paths = build_path_set(graph, self.commodities, max_paths=max_paths)
+        else:
+            self._check_prebuilt_paths(paths)
+        self.paths: PathSet = paths
         self._edges: List[EdgeKey] = self.paths.edges()
         self._edge_index: Dict[EdgeKey, int] = {edge: i for i, edge in enumerate(self._edges)}
-        # Incidence matrix A[e, p] = 1 if edge e lies on path p.  Dense is fine
-        # for the instance sizes this model is about.
-        self._incidence = np.zeros((len(self._edges), len(self.paths)))
-        for path_index, path in enumerate(self.paths):
-            for edge in path.edges:
-                self._incidence[self._edge_index[edge], path_index] = 1.0
+        # Incidence matrix A[e, p] = 1 if edge e lies on path p, behind the
+        # dense/sparse backend abstraction of repro.largescale.incidence.
+        self._inc: EdgeIncidence = build_incidence(
+            self.paths, self._edges, mode=incidence_mode
+        )
         self._demands = np.array(
             [self.commodities[self.paths.commodity_of(p)].demand for p in range(len(self.paths))]
         )
@@ -108,6 +127,29 @@ class WardropNetwork:
                     f"in its '{LATENCY_ATTR}' attribute"
                 )
 
+    def _check_prebuilt_paths(self, paths: PathSet) -> None:
+        """Validate a caller-supplied path set against graph and commodities."""
+        if paths.num_commodities != len(self.commodities):
+            raise ValueError(
+                f"path set covers {paths.num_commodities} commodities, "
+                f"instance has {len(self.commodities)}"
+            )
+        for index, commodity in enumerate(self.commodities):
+            commodity_paths = paths.commodity_paths(index)
+            if not commodity_paths:
+                raise ValueError(f"commodity {index} has no path in the path set")
+            for path in commodity_paths:
+                if path.source != commodity.source or path.sink != commodity.sink:
+                    raise ValueError(
+                        f"path {path.describe()} does not connect commodity {index} "
+                        f"({commodity.source!r}->{commodity.sink!r})"
+                    )
+                for u, v, key in path.edges:
+                    if not self.graph.has_edge(u, v, key):
+                        raise ValueError(
+                            f"path edge ({u!r}, {v!r}, {key!r}) is not in the graph"
+                        )
+
     # Basic structure -------------------------------------------------------
 
     @property
@@ -129,8 +171,17 @@ class WardropNetwork:
 
     @property
     def incidence(self) -> np.ndarray:
-        """The edge-path incidence matrix (edges x paths)."""
-        return self._incidence
+        """The dense edge-path incidence matrix (edges x paths).
+
+        Materialised (and cached) on demand for the sparse backend; use
+        :attr:`incidence_operator` to stay in ``O(nnz)``.
+        """
+        return self._inc.dense()
+
+    @property
+    def incidence_operator(self) -> EdgeIncidence:
+        """The incidence backend (dense or CSR) behind all evaluations."""
+        return self._inc
 
     @property
     def path_demands(self) -> np.ndarray:
@@ -204,7 +255,7 @@ class WardropNetwork:
 
     def edge_flows(self, path_flows: np.ndarray) -> np.ndarray:
         """Aggregate a path-flow vector to edge flows ``f_e = sum_{P ∋ e} f_P``."""
-        return self._incidence @ np.asarray(path_flows, dtype=float)
+        return self._inc.edge_flows(path_flows)
 
     def edge_latencies(self, edge_flows: np.ndarray) -> np.ndarray:
         """Evaluate every edge latency at the given edge flows."""
@@ -225,7 +276,7 @@ class WardropNetwork:
         """Return ``l_P(f)`` for every path, additive along edges."""
         edge_flows = self.edge_flows(path_flows)
         edge_latencies = self.edge_latencies(edge_flows)
-        return self._incidence.T @ edge_latencies
+        return self._inc.path_totals(edge_latencies)
 
     def path_latencies_from_edge_latencies(self, edge_latencies: np.ndarray) -> np.ndarray:
         """Return path latencies given precomputed edge latencies.
@@ -234,7 +285,7 @@ class WardropNetwork:
         computed from the *posted* (stale) edge latencies rather than the
         live ones.
         """
-        return self._incidence.T @ np.asarray(edge_latencies, dtype=float)
+        return self._inc.path_totals(edge_latencies)
 
     # Batched evaluation -----------------------------------------------------
     #
@@ -245,7 +296,7 @@ class WardropNetwork:
 
     def edge_flows_batch(self, path_flows: np.ndarray) -> np.ndarray:
         """Aggregate a ``(B, P)`` batch of path flows to ``(B, E)`` edge flows."""
-        return np.asarray(path_flows, dtype=float) @ self._incidence.T
+        return self._inc.edge_flows_batch(path_flows)
 
     def edge_latencies_batch(self, edge_flows: np.ndarray) -> np.ndarray:
         """Evaluate every edge latency on a ``(B, E)`` batch of edge flows."""
@@ -262,7 +313,7 @@ class WardropNetwork:
 
     def path_latencies_from_edge_latencies_batch(self, edge_latencies: np.ndarray) -> np.ndarray:
         """Return ``(B, P)`` path latencies from ``(B, E)`` posted edge latencies."""
-        return np.asarray(edge_latencies, dtype=float) @ self._incidence
+        return self._inc.path_totals_batch(edge_latencies)
 
     # Descriptions ----------------------------------------------------------
 

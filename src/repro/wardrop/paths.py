@@ -18,9 +18,10 @@ explicit enumeration is the honest implementation of the model.  A
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from .commodity import Commodity
 
@@ -160,6 +161,7 @@ class PathSet:
         for paths in self._by_commodity:
             self._commodity_slices.append((start, start + len(paths)))
             start += len(paths)
+        self._membership: Optional[Dict[EdgeKey, np.ndarray]] = None
 
     # Basic container protocol -------------------------------------------
 
@@ -209,12 +211,32 @@ class PathSet:
 
     def edges(self) -> List[EdgeKey]:
         """Return the sorted list of edges that appear on at least one path."""
-        seen = {edge for path in self._all for edge in path.edges}
-        return sorted(seen, key=str)
+        return sorted(self.edge_membership(), key=str)
+
+    def edge_membership(self) -> Dict[EdgeKey, np.ndarray]:
+        """Return the edge -> path-index membership map, built once.
+
+        One pass over all paths yields, per edge, the sorted array of global
+        indices of the paths that traverse it.  This single structure backs
+        :meth:`paths_through`, :meth:`edges` and the (sparse or dense)
+        edge--path incidence matrix of the network, so the membership is
+        computed exactly once per path set instead of once per query.
+        """
+        if self._membership is None:
+            collected: Dict[EdgeKey, List[int]] = {}
+            for index, path in enumerate(self._all):
+                for edge in set(path.edges):
+                    collected.setdefault(edge, []).append(index)
+            self._membership = {
+                edge: np.asarray(indices, dtype=np.int64)
+                for edge, indices in collected.items()
+            }
+        return self._membership
 
     def paths_through(self, edge: EdgeKey) -> List[int]:
         """Return the global indices of paths that use ``edge``."""
-        return [i for i, path in enumerate(self._all) if edge in path.edges]
+        indices = self.edge_membership().get(edge)
+        return [] if indices is None else [int(i) for i in indices]
 
     def describe(self) -> List[str]:
         """Return human-readable path descriptions in global order."""

@@ -1,0 +1,147 @@
+"""Early stopping for the finite-population agent engines.
+
+The scalar `AgentBasedSimulator` and the batched `BatchAgentSimulator` now
+accept `stop_when`, evaluated at phase boundaries on the realised flows and
+mirroring the fluid engine's freezing semantics: a stopping row records the
+triggering phase, then issues no further generator draws -- so a batched
+stopped row remains bit-identical to a scalar run that breaks at the same
+phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.agents import BatchAgentConfig, BatchAgentSimulator, simulate_agent_batch
+from repro.batch.stopping import distance_stop
+from repro.core import replicator_policy, uniform_policy
+from repro.core.agents import AgentBasedSimulator, AgentSimulationConfig
+from repro.instances import pigou_network, two_link_network
+from repro.wardrop import FlowVector
+
+
+def scalar_run(network, policy, n, period, horizon, seed, stop_when=None, stale=True):
+    config = AgentSimulationConfig(
+        num_agents=n, update_period=period, horizon=horizon, seed=seed, stale=stale
+    )
+    simulator = AgentBasedSimulator(network, policy, config)
+    trajectory = simulator.run(stop_when=stop_when)
+    return trajectory, simulator.final_assignment
+
+
+class TestScalarStopping:
+    def test_stop_ends_the_run_at_the_firing_phase(self):
+        network = two_link_network(beta=4.0)
+        policy = uniform_policy(network)
+        fired = []
+
+        def stop(time, flow):
+            fired.append(time)
+            return len(fired) == 4
+
+        trajectory, _ = scalar_run(network, policy, 50, 0.2, 5.0, 3, stop_when=stop)
+        assert len(trajectory.phases) == 4
+        assert trajectory.points[-1].time == pytest.approx(0.8)
+
+    def test_final_state_recorded_even_between_record_interval_samples(self):
+        network = two_link_network(beta=4.0)
+        policy = uniform_policy(network)
+        config = AgentSimulationConfig(
+            num_agents=40, update_period=0.1, horizon=5.0, seed=1,
+            record_interval=1.0,
+        )
+        trajectory = AgentBasedSimulator(network, policy, config).run(
+            stop_when=lambda time, flow: time >= 0.3
+        )
+        assert trajectory.points[-1].time == pytest.approx(0.3)
+
+    def test_prefix_of_a_non_stopping_run(self):
+        """Stopping only truncates: the prefix matches the unstopped run."""
+        network = pigou_network(degree=1)
+        policy = replicator_policy(network, exploration=1e-3)
+        stopped, _ = scalar_run(
+            network, policy, 80, 0.2, 4.0, 7,
+            stop_when=lambda time, flow: time >= 1.0,
+        )
+        full, _ = scalar_run(network, policy, 80, 0.2, 4.0, 7)
+        for ours, theirs in zip(stopped.points, full.points):
+            assert ours.time == theirs.time
+            assert np.array_equal(ours.flow.values(), theirs.flow.values())
+
+
+class TestBatchStopping:
+    @pytest.mark.parametrize("stale", [True, False])
+    def test_batch_rows_are_bit_identical_to_stopping_scalar_runs(self, stale):
+        network = pigou_network(degree=1)
+        policy = uniform_policy(network)
+        target = np.array([[0.6, 0.4]] * 3)
+        stop = distance_stop(target, tolerance=0.15)
+        result = simulate_agent_batch(
+            network, policy, [60, 90, 120], 0.2, 4.0,
+            seeds=np.array([11, 12, 13]), stale=stale, stop_when=stop,
+        )
+        for row, (n, seed) in enumerate([(60, 11), (90, 12), (120, 13)]):
+            trajectory, assignment = scalar_run(
+                network, policy, n, 0.2, 4.0, seed,
+                stop_when=stop.scalar(row), stale=stale,
+            )
+            ours = result.trajectory(row)
+            assert len(ours) == len(trajectory)
+            for a, b in zip(ours.points, trajectory.points):
+                assert np.array_equal(a.flow.values(), b.flow.values())
+            assert np.array_equal(result.assignments[row], assignment)
+            if result.stop_phases[row] >= 0:
+                assert len(trajectory.phases) == result.stop_phases[row] + 1
+
+    def test_stop_phases_report_minus_one_when_never_firing(self):
+        network = two_link_network(beta=2.0)
+        result = simulate_agent_batch(
+            network, uniform_policy(network), [30, 30], 0.25, 1.0,
+            seeds=np.array([0, 1]),
+            stop_when=lambda times, flows, rows: np.zeros(len(rows), dtype=bool),
+        )
+        assert np.array_equal(result.stop_phases, np.array([-1, -1]))
+        assert not result.stopped_rows().any()
+
+    def test_frozen_rows_stop_consuming_randomness(self):
+        """A row frozen early must not disturb its neighbours' streams."""
+        network = pigou_network(degree=1)
+        policy = uniform_policy(network)
+
+        def stop_row_zero(times, flows, rows):
+            return np.asarray(rows) == 0
+
+        stopped = simulate_agent_batch(
+            network, policy, [50, 70], 0.2, 3.0, seeds=np.array([5, 6]),
+            stop_when=stop_row_zero,
+        )
+        free = simulate_agent_batch(
+            network, policy, [50, 70], 0.2, 3.0, seeds=np.array([5, 6]),
+        )
+        assert stopped.stop_phases[0] == 0
+        assert stopped.num_points[0] == 2  # initial + the stopping phase
+        # Row 1 never stopped and is untouched by row 0's freeze.
+        assert np.array_equal(stopped.assignments[1], free.assignments[1])
+        assert np.array_equal(
+            stopped.flow_matrix(1), free.flow_matrix(1)
+        )
+
+    def test_bad_mask_shape_raises(self):
+        network = two_link_network(beta=2.0)
+        config = BatchAgentConfig(
+            num_agents=np.array([20, 20]), update_periods=0.2, horizons=1.0,
+            seeds=np.array([0, 1]),
+        )
+        simulator = BatchAgentSimulator(network, uniform_policy(network), config)
+        with pytest.raises(ValueError, match="stop_when returned shape"):
+            simulator.run(stop_when=lambda times, flows, rows: np.zeros(5, dtype=bool))
+
+    def test_initial_flows_still_respected_with_stopping(self):
+        network = two_link_network(beta=2.0)
+        start = FlowVector(network, [0.8, 0.2])
+        result = simulate_agent_batch(
+            network, uniform_policy(network), [40], 0.2, 1.0,
+            initial_flows=start,
+            stop_when=lambda times, flows, rows: np.ones(len(rows), dtype=bool),
+        )
+        assert result.flows[0, 0, 0] == pytest.approx(0.8, abs=0.05)
+        assert result.stop_phases[0] == 0

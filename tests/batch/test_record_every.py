@@ -1,0 +1,135 @@
+"""Strided batched recording (`BatchConfig.record_every`).
+
+`record_every=1` must reproduce the scalar simulator's dense
+``record_every_step`` trajectory; larger strides must sample a subset of
+those points; and phase-boundary samples must be untouched by the recording
+mode (dense recording never changes the integration itself).
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchConfig, BatchSimulator, simulate_batch
+from repro.batch.stopping import distance_stop
+from repro.core import uniform_policy
+from repro.core.simulator import ReroutingSimulator, SimulationConfig
+from repro.instances import braess_network, two_link_network
+from repro.wardrop import FlowVector
+
+
+@pytest.fixture(params=[two_link_network, braess_network])
+def network(request):
+    return request.param()
+
+
+def scalar_dense(network, policy, start, period, horizon, steps):
+    config = SimulationConfig(
+        update_period=period, horizon=horizon, steps_per_phase=steps,
+        record_every_step=True,
+    )
+    return ReroutingSimulator(network, policy, config).run(start)
+
+
+class TestDenseEquivalence:
+    def test_stride_one_matches_scalar_record_every_step(self, network):
+        policy = uniform_policy(network)
+        start = FlowVector.random(network, np.random.default_rng(5))
+        result = simulate_batch(
+            network, policy, [0.1, 0.25], 1.05, initial_flows=[start, start],
+            steps_per_phase=7, record_every=1,
+        )
+        for row, period in enumerate([0.1, 0.25]):
+            reference = scalar_dense(network, policy, start, period, 1.05, 7)
+            trajectory = result.trajectory(row)
+            assert len(trajectory) == len(reference)
+            for ours, theirs in zip(trajectory.points, reference.points):
+                assert ours.time == pytest.approx(theirs.time, abs=1e-12)
+                assert ours.phase_index == theirs.phase_index
+                assert np.allclose(
+                    ours.flow.values(), theirs.flow.values(), atol=1e-12
+                )
+            assert len(trajectory.phases) == len(reference.phases)
+            for ours, theirs in zip(trajectory.phases, reference.phases):
+                assert np.allclose(
+                    ours.end_flow.values(), theirs.end_flow.values(), atol=1e-12
+                )
+
+    def test_strided_samples_are_a_subset_of_the_dense_run(self, network):
+        policy = uniform_policy(network)
+        start = FlowVector.random(network, np.random.default_rng(6))
+        dense = simulate_batch(
+            network, policy, [0.1], 0.55, initial_flows=[start],
+            steps_per_phase=8, record_every=1,
+        ).trajectory(0)
+        strided = simulate_batch(
+            network, policy, [0.1], 0.55, initial_flows=[start],
+            steps_per_phase=8, record_every=3,
+        ).trajectory(0)
+        assert 1 < len(strided) < len(dense)
+        dense_times = dense.times
+        for point in strided.points:
+            k = int(np.argmin(np.abs(dense_times - point.time)))
+            assert np.array_equal(point.flow.values(), dense.points[k].flow.values())
+
+
+class TestBoundariesAndMetadata:
+    def test_phase_boundaries_are_identical_to_boundary_only_runs(self, network):
+        policy = uniform_policy(network)
+        start = FlowVector.random(network, np.random.default_rng(7))
+        plain = simulate_batch(
+            network, policy, [0.1, 0.2], 1.0, initial_flows=[start, start],
+            steps_per_phase=6,
+        )
+        dense = simulate_batch(
+            network, policy, [0.1, 0.2], 1.0, initial_flows=[start, start],
+            steps_per_phase=6, record_every=2,
+        )
+        assert np.array_equal(dense.final_flows(), plain.final_flows())
+        for row in range(2):
+            assert dense.num_phases(row) == plain.num_phases(row)
+            plain_traj = plain.trajectory(row)
+            dense_traj = dense.trajectory(row)
+            assert len(dense_traj.phases) == len(plain_traj.phases)
+            for ours, theirs in zip(dense_traj.phases, plain_traj.phases):
+                assert np.array_equal(ours.end_flow.values(), theirs.end_flow.values())
+
+    def test_boundary_only_runs_report_no_dense_metadata(self, network):
+        result = simulate_batch(network, uniform_policy(network), [0.1], 0.5)
+        assert result.sample_phases is None
+        assert result.boundary_mask is None
+        assert result.phase_counts is None
+
+    def test_record_every_composes_with_stop_when(self):
+        network = two_link_network(beta=4.0)
+        policy = uniform_policy(network)
+        start = FlowVector(network, [0.9, 0.1])
+        stop = distance_stop(np.array([[0.5, 0.5], [0.5, 0.5]]), tolerance=0.05)
+        dense = simulate_batch(
+            network, policy, [0.1, 0.1], 20.0, initial_flows=[start, start],
+            steps_per_phase=5, record_every=2, stop_when=stop,
+        )
+        plain = simulate_batch(
+            network, policy, [0.1, 0.1], 20.0, initial_flows=[start, start],
+            steps_per_phase=5, stop_when=stop,
+        )
+        assert np.array_equal(dense.stop_phases, plain.stop_phases)
+        assert dense.stop_phases[0] >= 0
+        assert np.array_equal(dense.final_flows(), plain.final_flows())
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError, match="record_every"):
+            BatchConfig(update_periods=np.array([0.1]), record_every=0)
+
+    def test_simulator_accepts_config_stride(self, network):
+        config = BatchConfig(
+            update_periods=np.array([0.1]), horizons=0.3, steps_per_phase=4,
+            record_every=2,
+        )
+        result = BatchSimulator(network, uniform_policy(network), config).run()
+        assert result.boundary_mask is not None
+        count = int(result.num_points[0])
+        # Boundary samples close each phase; intermediates carry the phase too.
+        boundaries = [k for k in range(count) if result.boundary_mask[0, k]]
+        assert boundaries[0] == 0
+        assert boundaries[-1] == count - 1
+        assert result.num_phases(0) == len(boundaries) - 1

@@ -344,13 +344,20 @@ class TestAgentsMethod:
         with pytest.raises(ValueError, match="at least one agent"):
             run_cases([case, self.agent_cases()[1]], self.builder, engine="batch")
 
-    def test_agent_cases_reject_stop_when(self):
-        case = self.agent_cases()[0]
-        case.stop_when = distance_stop(np.array([[0.5, 0.5]]), tolerance=0.1)
-        with pytest.raises(ValueError, match="agent engine"):
-            run_cases([case], self.builder, engine="serial")
-        with pytest.raises(ValueError, match="agent engine"):
-            run_cases([case, self.agent_cases()[1]], self.builder, engine="batch")
+    def test_agent_cases_thread_stop_when_through_all_backends(self):
+        """Agent cases with stop_when stop at the same phase on every backend."""
+        stop = distance_stop(np.array([[0.5, 0.5]]), tolerance=0.2)
+        serial_cases = self.agent_cases()
+        serial_cases[0].stop_when = stop
+        serial = run_cases(serial_cases, self.builder, engine="serial").rows
+        batch_cases = self.agent_cases()
+        batch_cases[0].stop_when = stop
+        batch = run_cases(batch_cases, self.builder, engine="batch").rows
+        assert serial == batch
+        plain = run_cases(self.agent_cases(), self.builder, engine="serial").rows
+        # The stopping case ended early; the untouched cases are unaffected.
+        assert serial[0]["phases"] < plain[0]["phases"]
+        assert serial[1:] == plain[1:]
 
 
 class TestPoolRowBuilding:

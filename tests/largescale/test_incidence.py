@@ -1,0 +1,123 @@
+"""The dense/sparse incidence backends and the shared membership index."""
+
+import numpy as np
+import pytest
+
+from repro.instances import braess_network, grid_network, sioux_falls_network
+from repro.largescale import (
+    DenseIncidence,
+    SparseIncidence,
+    build_incidence,
+    have_scipy,
+)
+from repro.wardrop import WardropNetwork
+
+requires_scipy = pytest.mark.skipif(not have_scipy(), reason="scipy not installed")
+
+
+def build_both(network):
+    dense = build_incidence(network.paths, network.edges, mode="dense")
+    sparse = build_incidence(network.paths, network.edges, mode="sparse")
+    return dense, sparse
+
+
+class TestBackendAgreement:
+    @requires_scipy
+    @pytest.mark.parametrize("factory", [braess_network, lambda: grid_network(3, 3, num_commodities=2, seed=3)])
+    def test_dense_and_sparse_products_agree(self, factory):
+        network = factory()
+        dense, sparse = build_both(network)
+        assert isinstance(dense, DenseIncidence)
+        assert isinstance(sparse, SparseIncidence)
+        assert dense.shape == sparse.shape == (network.num_edges, network.num_paths)
+        assert dense.nnz == sparse.nnz
+        assert np.array_equal(dense.dense(), sparse.dense())
+        rng = np.random.default_rng(7)
+        flows = rng.random(network.num_paths)
+        batch = rng.random((5, network.num_paths))
+        values = rng.random(network.num_edges)
+        batch_values = rng.random((5, network.num_edges))
+        assert np.allclose(dense.edge_flows(flows), sparse.edge_flows(flows), atol=1e-13)
+        assert np.allclose(
+            dense.edge_flows_batch(batch), sparse.edge_flows_batch(batch), atol=1e-13
+        )
+        assert np.allclose(dense.path_totals(values), sparse.path_totals(values), atol=1e-13)
+        assert np.allclose(
+            dense.path_totals_batch(batch_values),
+            sparse.path_totals_batch(batch_values),
+            atol=1e-13,
+        )
+
+    @requires_scipy
+    def test_sparse_scalar_and_batch_rows_are_bit_identical(self):
+        """The CSR batch product must replay the scalar accumulation exactly."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        _, sparse = build_both(network)
+        rng = np.random.default_rng(11)
+        batch = rng.random((6, network.num_paths))
+        batched = sparse.edge_flows_batch(batch)
+        for row in range(6):
+            assert np.array_equal(batched[row], sparse.edge_flows(batch[row]))
+        batch_values = rng.random((6, network.num_edges))
+        batched_totals = sparse.path_totals_batch(batch_values)
+        for row in range(6):
+            assert np.array_equal(batched_totals[row], sparse.path_totals(batch_values[row]))
+
+    @requires_scipy
+    def test_network_evaluation_matches_across_modes(self):
+        base = braess_network()
+        sparse_net = WardropNetwork(
+            base.graph, base.commodities, normalise=False, incidence_mode="sparse"
+        )
+        rng = np.random.default_rng(3)
+        flows = rng.random(base.num_paths)
+        batch = rng.random((4, base.num_paths))
+        assert np.allclose(base.edge_flows(flows), sparse_net.edge_flows(flows), atol=1e-13)
+        assert np.allclose(
+            base.path_latencies(flows), sparse_net.path_latencies(flows), atol=1e-12
+        )
+        assert np.allclose(
+            base.path_latencies_batch(batch),
+            sparse_net.path_latencies_batch(batch),
+            atol=1e-12,
+        )
+        assert np.array_equal(base.incidence, sparse_net.incidence)
+
+
+class TestSharedMembership:
+    def test_paths_through_matches_brute_force(self):
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        paths = network.paths
+        for edge in network.edges:
+            expected = [i for i, path in enumerate(paths) if edge in path.edges]
+            assert paths.paths_through(edge) == expected
+
+    def test_membership_is_built_once_and_shared(self):
+        network = braess_network()
+        paths = network.paths
+        first = paths.edge_membership()
+        assert paths.edge_membership() is first  # cached, no per-call scan
+        # The incidence matrix consumes the same membership map.
+        for edge, indices in first.items():
+            column = network.incidence[network.edge_index(edge)]
+            assert np.array_equal(np.flatnonzero(column), indices)
+
+    def test_paths_through_unknown_edge_is_empty(self):
+        network = braess_network()
+        assert network.paths.paths_through(("nope", "nowhere", 0)) == []
+
+
+class TestModeSelection:
+    @requires_scipy
+    def test_sioux_falls_uses_the_sparse_backend(self):
+        network = sioux_falls_network()
+        assert isinstance(network.incidence_operator, SparseIncidence)
+
+    def test_small_instances_stay_dense_in_auto_mode(self):
+        network = braess_network()
+        assert isinstance(network.incidence_operator, DenseIncidence)
+
+    def test_unknown_mode_rejected(self):
+        network = braess_network()
+        with pytest.raises(ValueError, match="incidence mode"):
+            build_incidence(network.paths, network.edges, mode="csr")

@@ -1,0 +1,67 @@
+"""The edge-flow Frank--Wolfe solver against the path-based ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.instances import braess_network, grid_network, pigou_network
+from repro.largescale import ShortestPathOracle
+from repro.solvers import (
+    solve_edge_flow_equilibrium,
+    solve_wardrop_equilibrium,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        braess_network,
+        lambda: pigou_network(degree=2),
+        lambda: grid_network(3, 3, num_commodities=2, seed=3),
+    ],
+)
+def test_edge_flows_match_the_path_based_solver(factory):
+    network = factory()
+    path_result = solve_wardrop_equilibrium(network, tolerance=1e-12)
+    edge_result = solve_edge_flow_equilibrium(network, tolerance=1e-10)
+    assert edge_result.converged
+    oracle = ShortestPathOracle(network.graph, network.commodities)
+    positions = oracle.network_edge_positions(network)
+    reference = network.edge_flows(path_result.flow.values())
+    assert np.abs(edge_result.edge_flows[positions] - reference).max() < 1e-6
+    # Off-path graph edges (if any) carry no equilibrium flow here.
+    off_path = np.setdiff1d(np.arange(oracle.num_edges), positions)
+    assert np.all(edge_result.edge_flows[off_path] <= 1e-9)
+
+
+def test_result_diagnostics_are_consistent():
+    network = braess_network()
+    result = solve_edge_flow_equilibrium(network, tolerance=1e-8)
+    assert result.relative_gap <= 1e-8
+    assert result.sptt <= result.tstt + 1e-12
+    assert result.iterations >= 1
+    assert len(result.gap_history) == result.iterations
+    assert result.potential_value == pytest.approx(
+        solve_wardrop_equilibrium(network, tolerance=1e-12).potential_value, abs=1e-8
+    )
+
+
+def test_warm_start_accepts_and_validates_shapes():
+    network = braess_network()
+    oracle = ShortestPathOracle(network.graph, network.commodities)
+    cold = solve_edge_flow_equilibrium(network, tolerance=1e-8, oracle=oracle)
+    warm = solve_edge_flow_equilibrium(
+        network, tolerance=1e-8, oracle=oracle, initial_edge_flows=cold.edge_flows
+    )
+    assert warm.iterations <= cold.iterations
+    assert np.abs(warm.edge_flows - cold.edge_flows).max() < 1e-6
+    with pytest.raises(ValueError, match="initial edge flows"):
+        solve_edge_flow_equilibrium(
+            network, oracle=oracle, initial_edge_flows=np.ones(3)
+        )
+
+
+def test_dijkstra_rejects_negative_costs():
+    network = braess_network()
+    oracle = ShortestPathOracle(network.graph, network.commodities)
+    with pytest.raises(ValueError, match="non-negative"):
+        oracle.all_or_nothing(-np.ones(oracle.num_edges))
