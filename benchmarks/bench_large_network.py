@@ -96,11 +96,7 @@ def run_benchmark(smoke: bool = False) -> List[dict]:
         horizon, steps_per_phase = 2.0, 10
         label = "sioux-falls (528 OD pairs)"
     network = build_instance()
-    oracle = ShortestPathOracle(
-        network.graph,
-        network.commodities,
-        first_thru_node=network.graph.graph.get("first_thru_node"),
-    )
+    oracle = ShortestPathOracle.for_network(network)
 
     begin = time.perf_counter()
     reference = solve_edge_flow_equilibrium(network, tolerance=1e-4, oracle=oracle)

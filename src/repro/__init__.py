@@ -16,7 +16,9 @@ units (the bulletin-board model).  This package implements the full system:
 * :mod:`repro.batch` -- the batched vectorized simulation engine: whole
   ensembles of replicas integrated as one stacked array,
 * :mod:`repro.experiments` -- experiment plans with deterministic seeds and
-  the batch/pool/serial experiment runner behind the sweeps.
+  the batch/pool/serial experiment runner behind the sweeps,
+* :mod:`repro.scenarios` -- nonstationary scenarios: time-varying demand,
+  link incidents, and equilibrium-tracking metrics for moving equilibria.
 
 Quickstart::
 
@@ -31,9 +33,9 @@ Quickstart::
     print(trajectory.describe())
 """
 
-from . import analysis, batch, core, experiments, instances, solvers, wardrop
+from . import analysis, batch, core, experiments, instances, scenarios, solvers, wardrop
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -41,6 +43,7 @@ __all__ = [
     "core",
     "experiments",
     "instances",
+    "scenarios",
     "solvers",
     "wardrop",
     "__version__",

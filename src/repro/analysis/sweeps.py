@@ -40,6 +40,7 @@ from .convergence import ConvergenceSummary, count_bad_phases
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from ..batch.stopping import StopCondition
+    from ..scenarios.scenario import Scenario
 
 # A row builder may return one row or a list of rows (e.g. one per target
 # delta evaluated on the same trajectory).
@@ -75,6 +76,14 @@ class SweepCase:
     case network's fixed path dimension; pass a scalar ``stop_when`` to
     :func:`~repro.largescale.columns.simulate_with_column_generation`
     directly instead).
+
+    ``scenario`` makes the case's environment nonstationary (see
+    :mod:`repro.scenarios`).  Scenarios ride along per row: same-topology
+    fluid cases with *different* scenarios still fuse into one batched
+    integration (the engine stacks their per-phase effective networks).
+    Agent-method cases with a scenario run on the scalar engine (the batched
+    agent engine does not take scenarios yet), dispatched serially by the
+    runner.
     """
 
     parameters: Dict[str, object]
@@ -90,6 +99,7 @@ class SweepCase:
     seed: int = 0
     stop_when: Optional["StopCondition"] = None
     column_generation: bool = False
+    scenario: Optional["Scenario"] = None
 
 
 @dataclass

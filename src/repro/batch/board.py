@@ -54,17 +54,9 @@ class BatchBulletinBoard:
             raise ValueError("update_periods must be a one-dimensional array")
         if np.any(update_periods <= 0):
             raise ValueError("all update periods must be positive")
-        if isinstance(network, NetworkFamily):
-            if network.size != len(update_periods):
-                raise ValueError(
-                    f"family of {network.size} networks for {len(update_periods)} boards"
-                )
-            self.family: Optional[NetworkFamily] = network
-            self.network = network.base
-        else:
-            self.family = None
-            self.network = network
         self.update_periods = update_periods
+        self.family: Optional[NetworkFamily] = None
+        self.set_networks(network)
         batch = len(update_periods)
         self.posted_flows = np.zeros((batch, self.network.num_paths))
         self.posted_edge_latencies = np.zeros((batch, self.network.num_edges))
@@ -75,6 +67,26 @@ class BatchBulletinBoard:
 
     def __len__(self) -> int:
         return len(self.update_periods)
+
+    def set_networks(self, network: Union[WardropNetwork, NetworkFamily]) -> None:
+        """Swap the latency source to another same-topology network/family.
+
+        The scenario layer calls this at every phase boundary: posting then
+        prices the rows' live flows in their *current* environments.  Only the
+        latency functions may differ -- posted arrays, clocks and phase
+        counters are untouched, exactly as when the scalar simulator points
+        its board at the phase's effective network.
+        """
+        if isinstance(network, NetworkFamily):
+            if network.size != len(self):
+                raise ValueError(
+                    f"family of {network.size} networks for {len(self)} boards"
+                )
+            self.family = network
+            self.network = network.base
+        else:
+            self.family = None
+            self.network = network
 
     def phase_starts(self, times: np.ndarray) -> np.ndarray:
         """Return ``t_hat_r = floor(t_r / T_r) * T_r`` for every row."""

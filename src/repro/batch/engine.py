@@ -262,6 +262,10 @@ class BatchEnsembleBase:
             self.family = None
             self.network = network
         self._batch_size = batch_size
+        # Scenario runs point this at the current phase's effective family;
+        # live (fresh-information) latency evaluation then prices flows in
+        # each row's current environment.
+        self._phase_family: Optional[NetworkFamily] = None
         if isinstance(policies, ReroutingPolicy):
             self._shared_policy: Optional[ReroutingPolicy] = policies
             self._policies: List[ReroutingPolicy] = [policies] * batch_size
@@ -311,7 +315,9 @@ class BatchEnsembleBase:
     # Latency evaluation ------------------------------------------------------
 
     def _path_latencies_rows(self, state: np.ndarray, rows: np.ndarray) -> np.ndarray:
-        """Live path latencies of the active sub-batch (family-aware)."""
+        """Live path latencies of the active sub-batch (family/scenario-aware)."""
+        if self._phase_family is not None:
+            return self._phase_family.path_latencies_batch(state, rows)
         if self.family is None:
             return self.network.path_latencies_batch(state)
         return self.family.path_latencies_batch(state, rows)
@@ -365,11 +371,49 @@ class BatchSimulator(BatchEnsembleBase):
         still amortises the integration loop across the batch).
     config:
         The :class:`BatchConfig` with per-row periods/horizons/resolutions.
+    scenarios:
+        Optional nonstationary environments: one
+        :class:`~repro.scenarios.scenario.Scenario` shared by every row, or a
+        sequence of ``B`` scenarios (``None`` entries keep a row stationary).
+        Rows may carry *different* scenarios -- e.g. a sweep over incident
+        timings -- and still integrate as one ensemble: at every phase
+        boundary the per-row effective networks are stacked through
+        :class:`~repro.scenarios.scenario.ScenarioEnsemble` into a cached
+        :class:`NetworkFamily` whose latency evaluation stays vectorised.
+        Row ``r`` remains bit-identical to a scalar
+        :class:`~repro.core.simulator.ReroutingSimulator` run with
+        ``scenario=scenarios[r]``.
     """
 
-    def __init__(self, network: Networks, policies: Policies, config: BatchConfig):
+    def __init__(
+        self,
+        network: Networks,
+        policies: Policies,
+        config: BatchConfig,
+        scenarios=None,
+    ):
         super().__init__(network, policies, config.batch_size)
         self.config = config
+        self._scenarios = self._normalise_scenarios(scenarios, config.batch_size)
+
+    @staticmethod
+    def _normalise_scenarios(scenarios, batch: int):
+        if scenarios is None:
+            return None
+        from ..scenarios.scenario import Scenario
+
+        if isinstance(scenarios, Scenario):
+            scenarios = [scenarios] * batch
+        scenarios = list(scenarios)
+        if len(scenarios) != batch:
+            raise ValueError(
+                f"got {len(scenarios)} scenarios for a batch of {batch}"
+            )
+        if any(s is not None and not isinstance(s, Scenario) for s in scenarios):
+            raise ValueError("scenarios must be Scenario instances or None")
+        if all(s is None for s in scenarios):
+            return None
+        return scenarios
 
     def _stale_rates(self, board: BatchBulletinBoard, rows: np.ndarray):
         """Return a field closure for one stale phase of the active rows.
@@ -383,10 +427,15 @@ class BatchSimulator(BatchEnsembleBase):
         sigma, mu = self._policy_tables(
             board.posted_flows[rows], board.posted_path_latencies[rows], rows
         )
+        # Same folded form as ReroutingPolicy.growth_rates/frozen_growth_field
+        # (one product + one reduction per stage), keeping scalar and batched
+        # stale phases bit-identical.
+        rates = sigma * mu
+        outflow_rates = rates.sum(axis=2)
 
         def field(_t, state: np.ndarray) -> np.ndarray:
-            rho = (state[:, :, None] * sigma) * mu
-            return rho.sum(axis=1) - rho.sum(axis=2)
+            inflow = np.matmul(state[:, None, :], rates)[:, 0, :]
+            return inflow - state * outflow_rates
 
         return field
 
@@ -468,9 +517,17 @@ class BatchSimulator(BatchEnsembleBase):
         phase_counts = np.zeros(batch, dtype=int)
         stop_phases = np.full(batch, -1, dtype=int)
 
+        ensemble = None
+        if self._scenarios is not None:
+            from ..scenarios.scenario import ScenarioEnsemble
+
+            ensemble = ScenarioEnsemble(self.family or network, self._scenarios)
+
         board: Optional[BatchBulletinBoard] = None
         if config.stale:
             board = BatchBulletinBoard(self.family or network, periods)
+            if ensemble is not None:
+                board.set_networks(ensemble.family_at(np.zeros(batch)))
             board.post_rows(0.0, flows)
 
         max_steps = periods / config.steps_per_phase
@@ -485,6 +542,13 @@ class BatchSimulator(BatchEnsembleBase):
             rows = np.flatnonzero(active)
             ends = np.minimum((phase + 1) * periods, horizons)
             durations = ends[rows] - starts[rows]
+
+            if ensemble is not None:
+                # Freeze every row's environment at its own phase start; the
+                # stacked family feeds both board posts and live evaluation.
+                self._phase_family = ensemble.family_at(starts)
+                if board is not None:
+                    board.set_networks(self._phase_family)
 
             if config.stale:
                 if phase > 0:
@@ -544,6 +608,7 @@ class BatchSimulator(BatchEnsembleBase):
                     )
                 stop_phases[rows[hit]] = phase
 
+        self._phase_family = None
         labels = [policy.label() for policy in self._policies]
         dense = record_every is not None
         return BatchResult(
@@ -574,6 +639,7 @@ def simulate_batch(
     method: str = "rk4",
     stop_when: Optional[BatchStoppingCondition] = None,
     record_every: Optional[int] = None,
+    scenarios=None,
 ) -> BatchResult:
     """Convenience wrapper mirroring :func:`repro.core.simulator.simulate`."""
     config = BatchConfig(
@@ -584,4 +650,6 @@ def simulate_batch(
         stale=stale,
         record_every=record_every,
     )
-    return BatchSimulator(network, policies, config).run(initial_flows, stop_when=stop_when)
+    return BatchSimulator(network, policies, config, scenarios=scenarios).run(
+        initial_flows, stop_when=stop_when
+    )

@@ -75,7 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = subparsers.add_parser("solve", help="compute the Wardrop equilibrium (Frank--Wolfe)")
     solve.add_argument("instance", help="registered instance name")
-    solve.add_argument("--tolerance", type=float, default=1e-8, help="duality-gap tolerance")
+    solve.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="duality-gap tolerance (default 1e-8 path-based; 1e-4 relative "
+        "gap with --edge-flow)",
+    )
+    solve.add_argument(
+        "--edge-flow",
+        action="store_true",
+        help="solve in edge-flow space via the shortest-path oracle (no path "
+        "enumeration; the tolerance is then the relative duality gap "
+        "TSTT/SPTT - 1) and report TSTT in raw TNTP units",
+    )
 
     run = subparsers.add_parser("simulate", help="simulate a rerouting policy under staleness")
     run.add_argument("instance", help="registered instance name")
@@ -105,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="grow the route set by shortest-path column generation at every "
         "bulletin refresh instead of using the instance's enumerated paths "
         "(fluid methods only)",
+    )
+    run.add_argument(
+        "--scenario",
+        default=None,
+        help="run under a named nonstationary scenario (see repro.scenarios: "
+        "morning-peak, braess-closure, sioux-falls-incident, ...)",
     )
 
     sweep = subparsers.add_parser(
@@ -148,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every case with shortest-path column generation (cases then "
         "execute serially; fluid methods only)",
     )
+    sweep.add_argument(
+        "--scenario",
+        default=None,
+        help="run every case under a named nonstationary scenario "
+        "(same-topology scenario cases still fuse into one batch)",
+    )
     sweep.add_argument("--csv", default=None, help="write the result rows to this CSV file")
     sweep.add_argument("--jsonl", default=None, help="write the result rows to this JSONL file")
     sweep.add_argument(
@@ -179,9 +204,15 @@ def _cmd_describe(instance: str) -> int:
     return 0
 
 
-def _cmd_solve(instance: str, tolerance: float) -> int:
+def _cmd_solve(instance: str, tolerance: Optional[float], edge_flow: bool = False) -> int:
     network = get_instance(instance)
-    result = solve_wardrop_equilibrium(network, tolerance=tolerance)
+    if edge_flow:
+        return _cmd_solve_edge_flow(
+            instance, network, tolerance if tolerance is not None else 1e-4
+        )
+    result = solve_wardrop_equilibrium(
+        network, tolerance=tolerance if tolerance is not None else 1e-8
+    )
     rows = [
         {
             "path": description,
@@ -198,6 +229,42 @@ def _cmd_solve(instance: str, tolerance: float) -> int:
     return 0
 
 
+def _cmd_solve_edge_flow(instance: str, network, tolerance: float) -> int:
+    """Solve in edge-flow space (no path enumeration) and print raw-unit TSTT.
+
+    The instance's latencies act on normalised flow shares, so the solver's
+    TSTT/SPTT come back in (latency x share) units; multiplying by the raw
+    total demand recorded by the TNTP loader recovers the literature's
+    vehicle-minutes.  Instances without TNTP metadata have total demand 1 and
+    the two unit systems coincide.
+    """
+    from .largescale import ShortestPathOracle
+    from .solvers import solve_edge_flow_equilibrium
+
+    oracle = ShortestPathOracle.for_network(network)
+    result = solve_edge_flow_equilibrium(network, tolerance=tolerance, oracle=oracle)
+    total = float(network.graph.graph.get("total_demand", 1.0))
+    order = sorted(
+        range(oracle.num_edges), key=lambda i: -result.edge_flows[i]
+    )[:10]
+    rows = [
+        {
+            "link": f"{oracle.edges[i][0]}->{oracle.edges[i][1]}",
+            "flow (raw)": result.edge_flows[i] * total,
+            "share": result.edge_flows[i],
+            "latency": network.latency_function(oracle.edges[i]).value(result.edge_flows[i]),
+        }
+        for i in order
+    ]
+    print_table(rows, title=f"Edge-flow equilibrium of {instance} (10 most loaded links)")
+    print(f"TSTT (raw TNTP units)  = {result.tstt * total:.6g}")
+    print(f"SPTT (raw TNTP units)  = {result.sptt * total:.6g}")
+    print(f"relative duality gap   = {result.relative_gap:.3g}")
+    print(f"Beckmann potential     = {result.potential_value:.6g}")
+    print(f"iterations = {result.iterations}, converged = {result.converged}")
+    return 0
+
+
 def _cmd_simulate(
     instance: str,
     policy_name: str,
@@ -208,9 +275,19 @@ def _cmd_simulate(
     num_agents: int = 1000,
     seed: int = 0,
     column_generation: bool = False,
+    scenario_name: Optional[str] = None,
 ) -> int:
     network = get_instance(instance)
     policy = POLICY_BUILDERS[policy_name](network)
+    scenario = None
+    if scenario_name is not None:
+        from .scenarios import get_scenario
+
+        try:
+            scenario = get_scenario(scenario_name, network)
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if period == "auto":
         if policy.smoothness is None:
             print("error: --period auto needs an alpha-smooth policy", file=sys.stderr)
@@ -234,6 +311,7 @@ def _cmd_simulate(
             horizon=horizon,
             stale=not fresh,
             method=method,
+            scenario=scenario,
         )
         trajectory = result.trajectory
         print(
@@ -241,6 +319,12 @@ def _cmd_simulate(
             f"({result.total_columns_added} discovered over "
             f"{len(result.growth_events)} refreshes)"
         )
+        if result.eviction_events:
+            moved = sum(volume for _, volume in result.eviction_events)
+            print(
+                f"closures: {len(result.eviction_events)} eviction(s), "
+                f"total flow volume moved off closed columns = {moved:.4g}"
+            )
     else:
         start = FlowVector.single_path(network, {i: 0 for i in range(network.num_commodities)})
         start = start.blend(FlowVector.uniform(network), 0.05)
@@ -248,13 +332,16 @@ def _cmd_simulate(
             trajectory = simulate_agents(
                 network, policy, num_agents=num_agents, update_period=update_period,
                 horizon=horizon, initial_flow=start, seed=seed, stale=not fresh,
+                scenario=scenario,
             )
         else:
             trajectory = simulate(
                 network, policy, update_period=update_period, horizon=horizon,
-                initial_flow=start, stale=not fresh, method=method,
+                initial_flow=start, stale=not fresh, method=method, scenario=scenario,
             )
     report = analyse_oscillation(trajectory)
+    if scenario is not None:
+        print(f"scenario: {scenario_name} ({scenario!r})")
     print(trajectory.describe())
     print(f"  update period T      = {update_period:.6g} ({'fresh info' if fresh else 'stale info'})")
     print(f"  final potential      = {potential(trajectory.final_flow):.6g}")
@@ -287,10 +374,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --column-generation supports fluid methods only", file=sys.stderr)
         return 2
 
+    scenarios = {name: None for name in names}
+    if args.scenario is not None:
+        from .scenarios import get_scenario
+
+        try:
+            scenarios = {name: get_scenario(args.scenario, networks[name]) for name in names}
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     def build_case(params, rng):
         name = params["instance"]
+        parameters = {"instance": name, "T": params["update_period"]}
+        if args.scenario is not None:
+            parameters["scenario"] = args.scenario
         return SweepCase(
-            parameters={"instance": name, "T": params["update_period"]},
+            parameters=parameters,
             network=networks[name],
             policy=policies[name],
             update_period=params["update_period"],
@@ -300,6 +400,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             method=args.method,
             num_agents=args.agents if args.method == "agents" else None,
             column_generation=args.column_generation,
+            scenario=scenarios[name],
         )
 
     plan = ExperimentPlan.from_axes(
@@ -366,11 +467,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "describe":
         return _cmd_describe(args.instance)
     if args.command == "solve":
-        return _cmd_solve(args.instance, args.tolerance)
+        return _cmd_solve(args.instance, args.tolerance, args.edge_flow)
     if args.command == "simulate":
         return _cmd_simulate(
             args.instance, args.policy, args.period, args.horizon, args.fresh,
             args.method, args.agents, args.seed, args.column_generation,
+            args.scenario,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)

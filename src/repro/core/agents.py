@@ -42,9 +42,12 @@ agree bit for bit (see ``tests/batch/test_agent_equivalence.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..scenarios.scenario import Scenario
 
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
@@ -293,12 +296,26 @@ class AgentBasedSimulator:
     After :meth:`run` the attribute ``final_assignment`` holds the last
     agent-to-path assignment (the batched engine exposes the same array per
     row, and the equivalence tests compare them bit for bit).
+
+    ``scenario`` makes the environment nonstationary exactly as in the fluid
+    simulator: the modulation is sampled at each phase start, the board posts
+    the current environment's latencies, and in fresh mode every activation
+    prices the live flow in the phase's frozen environment.  The randomness
+    schedule is untouched, so a stationary scenario reproduces the
+    scenario-free run bit for bit.
     """
 
-    def __init__(self, network: WardropNetwork, policy: ReroutingPolicy, config: AgentSimulationConfig):
+    def __init__(
+        self,
+        network: WardropNetwork,
+        policy: ReroutingPolicy,
+        config: AgentSimulationConfig,
+        scenario: Optional["Scenario"] = None,
+    ):
         self.network = network
         self.policy = policy
         self.config = config
+        self.scenario = scenario
         self.final_assignment: Optional[np.ndarray] = None
 
     def run(
@@ -333,10 +350,15 @@ class AgentBasedSimulator:
         flow_values = realised_flow(assignment, weights, num_paths)
         trajectory.record(0.0, FlowVector(network, flow_values, validate=False), 0)
 
+        scenario = self.scenario
+        if scenario is not None:
+            scenario.require_edges(network)
         board: Optional[BulletinBoard] = None
         flow_live = np.empty(0)
         if config.stale:
             board = BulletinBoard(network, config.update_period)
+            if scenario is not None:
+                board.network = scenario.network_at(network, 0.0)
             board.post(0.0, flow_values)
         else:
             # Only the fresh-information event loop reads the live flow.
@@ -354,6 +376,9 @@ class AgentBasedSimulator:
             start = phase * period
             end = min((phase + 1) * period, horizon)
             duration = end - start
+            phase_network = (
+                scenario.network_at(network, start) if scenario is not None else network
+            )
             count = int(rng.poisson(n * duration))
             agents = rng.integers(n, size=count)
             u_sample = rng.random(count)
@@ -377,7 +402,7 @@ class AgentBasedSimulator:
                 tables_valid = False
                 for j in range(count):
                     if not tables_valid:
-                        latencies = network.path_latencies(flow_live)
+                        latencies = phase_network.path_latencies(flow_live)
                         sigma = policy.sampling.probabilities(network, flow_live, latencies)
                         mu = policy.migration.matrix(latencies)
                         cdf, valid = sampling_tables(sigma, layout)
@@ -415,6 +440,10 @@ class AgentBasedSimulator:
                 break
             if config.stale:
                 if end < horizon:
+                    if scenario is not None:
+                        # The snapshot posted at `end` feeds the next phase,
+                        # so it is priced in that phase's environment.
+                        board.network = scenario.network_at(network, end)
                     board.post(end, flow_values)
             else:
                 flow_live = flow_values.copy()
@@ -447,6 +476,7 @@ def simulate_agents(
     seed: int = 0,
     stale: bool = True,
     stop_when: Optional[StoppingCondition] = None,
+    scenario: Optional["Scenario"] = None,
 ) -> Trajectory:
     """Convenience wrapper around :class:`AgentBasedSimulator`."""
     config = AgentSimulationConfig(
@@ -456,4 +486,6 @@ def simulate_agents(
         seed=seed,
         stale=stale,
     )
-    return AgentBasedSimulator(network, policy, config).run(initial_flow, stop_when=stop_when)
+    return AgentBasedSimulator(network, policy, config, scenario=scenario).run(
+        initial_flow, stop_when=stop_when
+    )

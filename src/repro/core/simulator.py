@@ -17,7 +17,7 @@ starting at an approximate equilibrium").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from .bulletin import BulletinBoard, FreshInformationBoard
 from .dynamics import integrate, integration_step_for
 from .policy import ReroutingPolicy
 from .trajectory import PhaseRecord, Trajectory
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..scenarios.scenario import Scenario
 
 StoppingCondition = Callable[[float, FlowVector], bool]
 
@@ -72,12 +75,27 @@ class SimulationConfig:
 
 
 class ReroutingSimulator:
-    """Simulates a rerouting policy on a network in the fluid limit."""
+    """Simulates a rerouting policy on a network in the fluid limit.
 
-    def __init__(self, network: WardropNetwork, policy: ReroutingPolicy, config: SimulationConfig):
+    ``scenario`` optionally makes the environment nonstationary: at every
+    phase start the scenario's modulation is sampled and frozen for the
+    phase, so the bulletin board posts the *current* environment's latencies
+    and (in fresh mode) the live field prices flows in it.  Within a phase
+    the environment, like the board, does not move -- scenario changes are
+    information events, applied exactly at phase boundaries.
+    """
+
+    def __init__(
+        self,
+        network: WardropNetwork,
+        policy: ReroutingPolicy,
+        config: SimulationConfig,
+        scenario: Optional["Scenario"] = None,
+    ):
         self.network = network
         self.policy = policy
         self.config = config
+        self.scenario = scenario
 
     def run(
         self,
@@ -106,7 +124,11 @@ class ReroutingSimulator:
             update_period=config.update_period if config.stale else 0.0,
         )
         step = integration_step_for(config.update_period, config.steps_per_phase)
+        scenario = self.scenario
         time = 0.0
+        if scenario is not None:
+            scenario.require_edges(network)
+            board.network = scenario.network_at(network, time)
         board.post(time, flow.values())
         trajectory.record(time, flow, board.phase_index)
 
@@ -115,6 +137,11 @@ class ReroutingSimulator:
             phase_start = phase * config.update_period
             phase_end = min((phase + 1) * config.update_period, config.horizon)
             start_flow = flow
+            if scenario is not None:
+                phase_network = scenario.network_at(network, phase_start)
+                board.network = phase_network
+            else:
+                phase_network = network
             if config.stale:
                 # One frozen snapshot for the whole phase: sigma and mu are
                 # precomputed once instead of once per integrator stage (the
@@ -129,9 +156,10 @@ class ReroutingSimulator:
                     field, flow.values(), phase_start, phase_end, step, trajectory, phase
                 )
             else:
-                # Up-to-date information: probabilities follow the live state.
+                # Up-to-date information: probabilities follow the live state
+                # (priced in the phase's frozen environment).
                 def field(_t: float, state: np.ndarray) -> np.ndarray:
-                    live_latencies = network.path_latencies(state)
+                    live_latencies = phase_network.path_latencies(state)
                     return self.policy.growth_rates(network, state, state, live_latencies)
 
                 new_values = self._integrate_phase(
@@ -194,6 +222,7 @@ def simulate(
     steps_per_phase: int = 50,
     method: str = "rk4",
     stop_when: Optional[StoppingCondition] = None,
+    scenario: Optional["Scenario"] = None,
 ) -> Trajectory:
     """Convenience wrapper building a simulator and running it once."""
     config = SimulationConfig(
@@ -203,4 +232,6 @@ def simulate(
         method=method,
         stale=stale,
     )
-    return ReroutingSimulator(network, policy, config).run(initial_flow, stop_when=stop_when)
+    return ReroutingSimulator(network, policy, config, scenario=scenario).run(
+        initial_flow, stop_when=stop_when
+    )

@@ -59,15 +59,21 @@ def group_key(case: SweepCase) -> GroupKey:
     and commodities — latency coefficients may differ, in which case the
     group runs as a :class:`~repro.wardrop.family.NetworkFamily` batch), the
     same information model (stale vs fresh) and the same integration method;
-    policy, update period, horizon, steps-per-phase and initial flow may vary
-    per row.  Column-generation cases form their own groups and never batch
-    (their path dimension changes mid-run).
+    policy, update period, horizon, steps-per-phase, initial flow and
+    *scenario* may vary per row (the batched engine stacks per-row
+    nonstationary environments).  The final key element flags serial-only
+    cases: column generation never batches (its path dimension changes
+    mid-run), and agent-method cases carrying a scenario run on the scalar
+    agent engine.
     """
+    serial_only = case.column_generation or (
+        case.method == "agents" and case.scenario is not None
+    )
     return (
         topology_signature(case.network),
         case.stale,
         case.method,
-        case.column_generation,
+        serial_only,
     )
 
 
@@ -111,6 +117,7 @@ def _simulate_case(case: SweepCase) -> Trajectory:
             stale=case.stale,
             steps_per_phase=case.steps_per_phase,
             method=case.method,
+            scenario=case.scenario,
         )
         return result.trajectory
     if case.method == "agents":
@@ -121,9 +128,9 @@ def _simulate_case(case: SweepCase) -> Trajectory:
             seed=case.seed,
             stale=case.stale,
         )
-        return AgentBasedSimulator(case.network, case.policy, config).run(
-            case.initial_flow, stop_when=scalar_stop
-        )
+        return AgentBasedSimulator(
+            case.network, case.policy, config, scenario=case.scenario
+        ).run(case.initial_flow, stop_when=scalar_stop)
     return simulate(
         case.network,
         case.policy,
@@ -134,6 +141,7 @@ def _simulate_case(case: SweepCase) -> Trajectory:
         steps_per_phase=case.steps_per_phase,
         method=case.method,
         stop_when=scalar_stop,
+        scenario=case.scenario,
     )
 
 
@@ -226,9 +234,13 @@ def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
         method=first.method,
         stale=first.stale,
     )
-    result = BatchSimulator(target, policies, config).run(
-        initial_flows, stop_when=_group_stop_when(cases)
-    )
+    scenarios = [case.scenario for case in cases]
+    result = BatchSimulator(
+        target,
+        policies,
+        config,
+        scenarios=scenarios if any(s is not None for s in scenarios) else None,
+    ).run(initial_flows, stop_when=_group_stop_when(cases))
     return [result.trajectory(row) for row in range(len(cases))]
 
 
@@ -316,8 +328,10 @@ def _dispatch_rows(
     leftovers: List[int] = []
     for key, indices in groups.items():
         if key[3]:
-            # Column-generation cases cannot batch (growing path dimension);
-            # they run on the scalar path whatever the engine choice.
+            # Serial-only cases: column generation cannot batch (growing path
+            # dimension) and scenario-carrying agent cases need the scalar
+            # agent engine; both run on the scalar path whatever the engine
+            # choice.
             leftovers.extend(indices)
         elif engine == "batch" or len(indices) > 1:
             for index, trajectory in zip(

@@ -30,7 +30,7 @@ staleness phenomenon the paper studies).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
@@ -43,6 +43,9 @@ from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from ..wardrop.paths import Path, PathSet
 from .shortest import ShortestPathOracle
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..scenarios.scenario import Scenario
 
 PolicyOrBuilder = Union[ReroutingPolicy, Callable[[WardropNetwork], ReroutingPolicy]]
 
@@ -198,6 +201,24 @@ class ActivePathSet:
         )
         return self.oracle.latency_costs(network, full_flows)
 
+    def invalidate_columns(self, network: WardropNetwork, closed_edges) -> List[int]:
+        """Return the indices of columns crossing any of ``closed_edges``.
+
+        The columns stay in the set (the trajectory bookkeeping needs a
+        monotone path dimension) but the caller is expected to make them
+        unusable: the column-generation driver moves their flow onto each
+        commodity's best open column the moment a closure starts, and the
+        scenario's closure penalty keeps the dynamics from migrating back.
+        """
+        closed = set(closed_edges)
+        if not closed:
+            return []
+        return [
+            index
+            for index, path in enumerate(network.paths)
+            if any(edge in closed for edge in path.edges)
+        ]
+
     def embed(
         self,
         values: np.ndarray,
@@ -238,6 +259,8 @@ class ColumnGenerationResult:
     active: ActivePathSet
     growth_events: List[Tuple[int, List[Path]]] = field(default_factory=list)
     path_counts: List[int] = field(default_factory=list)
+    # Scenario closures: (phase_index, flow volume moved off closed columns).
+    eviction_events: List[Tuple[int, float]] = field(default_factory=list)
 
     @property
     def final_flow(self) -> FlowVector:
@@ -254,6 +277,40 @@ def _resolve_policy(policy: PolicyOrBuilder, network: WardropNetwork) -> Rerouti
     return policy(network)
 
 
+def _evict_closed_columns(
+    network: WardropNetwork,
+    values: np.ndarray,
+    crossing: List[int],
+    path_latencies: np.ndarray,
+) -> Tuple[np.ndarray, float]:
+    """Move flow off closed (crossing) columns onto each commodity's best open one.
+
+    Returns the repaired flow and the total volume moved.  A commodity whose
+    every column crosses a closed edge keeps its flow (there is nothing open
+    to route onto -- the closure penalty still prices the columns out for the
+    oracle, which will seed a detour at the next refresh).
+    """
+    if not crossing:
+        return values, 0.0
+    crossing_set = set(crossing)
+    values = values.copy()
+    moved = 0.0
+    for i in range(network.num_commodities):
+        indices = list(network.paths.commodity_indices(i))
+        closed_local = [p for p in indices if p in crossing_set]
+        open_local = [p for p in indices if p not in crossing_set]
+        if not closed_local or not open_local:
+            continue
+        volume = float(values[closed_local].sum())
+        if volume <= 0.0:
+            continue
+        best = min(open_local, key=lambda p: (path_latencies[p], p))
+        values[closed_local] = 0.0
+        values[best] += volume
+        moved += volume
+    return values, moved
+
+
 def simulate_with_column_generation(
     active: ActivePathSet,
     policy: PolicyOrBuilder,
@@ -264,6 +321,7 @@ def simulate_with_column_generation(
     steps_per_phase: int = 50,
     method: str = "rk4",
     stop_when: Optional[Callable[[float, FlowVector], bool]] = None,
+    scenario: Optional["Scenario"] = None,
 ) -> ColumnGenerationResult:
     """Run the rerouting dynamics with column generation at every refresh.
 
@@ -280,12 +338,23 @@ def simulate_with_column_generation(
     builder ``network -> policy`` re-invoked after every growth event.
     ``stop_when(time, flow)`` is evaluated at phase boundaries, exactly like
     the scalar simulator's.
+
+    ``scenario`` makes the environment nonstationary (sampled at phase
+    starts, like the engines).  A scenario state *change* is treated as an
+    information event: it forces a bulletin refresh, so the oracle is
+    immediately consulted against the changed environment.  When a closure
+    starts, the crossing columns are invalidated -- their flow moves onto
+    each commodity's best open column (``eviction_events`` records the
+    volume) -- and the forced refresh seeds detour routes around the closed
+    link in the same instant.
     """
     if update_period <= 0 or horizon <= 0:
         raise ValueError("update period and horizon must be positive")
     if steps_per_phase <= 0:
         raise ValueError("steps_per_phase must be positive")
     network = active.network
+    if scenario is not None:
+        scenario.require_edges(network)
     flow = initial_flow or FlowVector.uniform(network)
     if flow.network is not network:
         raise ValueError("initial flow belongs to a different network")
@@ -301,53 +370,88 @@ def simulate_with_column_generation(
     boundaries: List[Tuple[int, float, float, np.ndarray, np.ndarray, WardropNetwork]] = []
     growth_events: List[Tuple[int, List[Path]]] = []
     path_counts: List[int] = []
+    eviction_events: List[Tuple[int, float]] = []
 
     num_phases = int(np.ceil(horizon / update_period))
     posted_time = -np.inf
     posted_values: Optional[np.ndarray] = None
+    posted_latencies: Optional[np.ndarray] = None
+    posted_modulation = None
+    previously_closed: frozenset = frozenset()
     for phase in range(num_phases):
         phase_start = phase * update_period
         phase_end = min((phase + 1) * update_period, horizon)
+
+        if scenario is not None:
+            effective = scenario.network_at(network, phase_start)
+            modulation = scenario.modulation_at(phase_start)
+            closed_now = scenario.closed_edges(phase_start)
+        else:
+            effective = network
+            modulation = None
+            closed_now = frozenset()
 
         if stale:
             # The board refreshes on exactly the scalar BulletinBoard's
             # schedule, including the floating-point floor(t/T) quirk that
             # occasionally leaves a snapshot in place for one more phase --
             # closed-mode runs stay bit-identical to the scalar simulator.
+            # A scenario state change forces a refresh regardless.
             refresh_time = float(
                 np.floor(phase_start / update_period) * update_period
             )
-            refresh = posted_values is None or refresh_time > posted_time + 1e-12
+            refresh = (
+                posted_values is None
+                or refresh_time > posted_time + 1e-12
+                or modulation != posted_modulation
+            )
         else:
             refresh_time = phase_start
             refresh = True
         if refresh:
             # Refresh instant: the board posts the live flow, and the oracle
-            # is consulted on exactly what the board shows.
-            costs = active.posted_costs(network, values)
+            # is consulted on exactly what the board shows (priced in the
+            # phase's effective environment).
+            costs = active.posted_costs(effective, values)
             added = active.augment(costs)
             if added:
                 growth_events.append((phase, added))
                 new_network = active.network
                 values = active.embed(values, network, new_network)
                 network = new_network
+                effective = (
+                    scenario.network_at(network, phase_start)
+                    if scenario is not None
+                    else network
+                )
                 current_policy = _resolve_policy(policy, network)
+            newly_closed = closed_now - previously_closed
+            if newly_closed:
+                crossing = active.invalidate_columns(network, closed_now)
+                values, moved = _evict_closed_columns(
+                    network, values, crossing, effective.path_latencies(values)
+                )
+                if moved > 0.0:
+                    eviction_events.append((phase, moved))
             posted_values = values.copy()
+            posted_latencies = effective.path_latencies(posted_values)
             posted_time = refresh_time
+            posted_modulation = modulation
+        previously_closed = closed_now
         path_counts.append(network.num_paths)
 
         start_values = values.copy()
         if stale:
-            posted_latencies = network.path_latencies(posted_values)
             field_fn = current_policy.frozen_growth_field(
                 network, posted_values, posted_latencies
             )
         else:
             policy_ref = current_policy
             network_ref = network
+            effective_ref = effective
 
             def field_fn(_t: float, state: np.ndarray) -> np.ndarray:
-                live = network_ref.path_latencies(state)
+                live = effective_ref.path_latencies(state)
                 return policy_ref.growth_rates(network_ref, state, state, live)
 
         raw = integrate(field_fn, values, phase_start, phase_end, step, method)
@@ -397,4 +501,5 @@ def simulate_with_column_generation(
         active=active,
         growth_events=growth_events,
         path_counts=path_counts,
+        eviction_events=eviction_events,
     )

@@ -15,6 +15,17 @@ First-thru-node semantics (TNTP): road-network files mark the first node
 that real traffic may pass *through*; lower-numbered nodes are zone
 centroids that can appear only as origins or destinations.  The oracle
 enforces this during the Dijkstra expansion.
+
+Backends: the reference implementation is a pure-Python binary-heap Dijkstra
+(always available, deterministic tie-breaking).  At road-network sizes the
+oracle auto-selects a ``scipy.sparse.csgraph.dijkstra`` backend over a CSR
+adjacency matrix: one C-level one-to-many query per origin, with the
+first-thru-node rule enforced by pricing the outgoing arcs of every
+non-source centroid at ``+inf``.  The scipy backend requires a graph without
+parallel edges (CSR holds one entry per node pair); multigraph instances
+fall back to the Python backend automatically.  Both backends return true
+shortest paths and identical distances -- only tie-breaking between equal
+cost paths may differ (see the parity test on Sioux Falls).
 """
 
 from __future__ import annotations
@@ -29,8 +40,13 @@ import numpy as np
 from ..wardrop.commodity import Commodity
 from ..wardrop.network import LATENCY_ATTR
 from ..wardrop.paths import EdgeKey, Path
+from .incidence import have_scipy
 
 INFINITY = float("inf")
+
+# Auto mode switches to the scipy csgraph backend at this edge count --
+# road-network territory (the bundled Sioux Falls fixture has 76 links).
+SCIPY_BACKEND_MIN_EDGES = 64
 
 
 @dataclass(frozen=True)
@@ -58,6 +74,13 @@ class ShortestPathOracle:
     first_thru_node:
         Optional TNTP-style centroid bound: integer nodes strictly below it
         may start or end a path but never be passed through.
+    backend:
+        ``"auto"`` (default), ``"python"`` or ``"scipy"``.  Auto keeps the
+        pure-Python heap on small or multigraph instances and switches to
+        ``scipy.sparse.csgraph.dijkstra`` at
+        :data:`SCIPY_BACKEND_MIN_EDGES` edges; ``"scipy"`` forces the CSR
+        backend (raising if scipy is missing or the graph has parallel
+        edges).
     """
 
     def __init__(
@@ -65,6 +88,7 @@ class ShortestPathOracle:
         graph: nx.MultiDiGraph,
         commodities: Sequence[Commodity],
         first_thru_node: Optional[int] = None,
+        backend: str = "auto",
     ):
         self.graph = graph
         self.commodities: List[Commodity] = list(commodities)
@@ -88,6 +112,88 @@ class ShortestPathOracle:
             self._sinks_by_source.setdefault(commodity.source, []).append(
                 (i, commodity.sink)
             )
+        self.backend = self._resolve_backend(backend)
+        if self.backend == "scipy":
+            self._build_scipy()
+
+    def _has_parallel_edges(self) -> bool:
+        return len({(u, v) for u, v, _key in self.edges}) != len(self.edges)
+
+    def _resolve_backend(self, backend: str) -> str:
+        if backend == "python":
+            return "python"
+        if backend == "scipy":
+            if not have_scipy():
+                raise ValueError("the scipy Dijkstra backend requires scipy")
+            if self._has_parallel_edges():
+                raise ValueError(
+                    "the scipy Dijkstra backend requires a graph without "
+                    "parallel edges (CSR holds one entry per node pair)"
+                )
+            return "scipy"
+        if backend != "auto":
+            raise ValueError(
+                f"unknown oracle backend {backend!r}; use 'auto', 'python' or 'scipy'"
+            )
+        if (
+            have_scipy()
+            and len(self.edges) >= SCIPY_BACKEND_MIN_EDGES
+            and not self._has_parallel_edges()
+        ):
+            return "scipy"
+        return "python"
+
+    def _build_scipy(self) -> None:
+        """Build the CSR adjacency template reused by every scipy query."""
+        from scipy import sparse
+
+        self._nodes: List[Hashable] = list(self._adjacency)
+        node_index = {node: i for i, node in enumerate(self._nodes)}
+        self._node_index = node_index
+        num_nodes = len(self._nodes)
+        rows = np.array([node_index[u] for u, _v, _key in self.edges], dtype=np.int64)
+        cols = np.array([node_index[v] for _u, v, _key in self.edges], dtype=np.int64)
+        # Template trick: store 1-based edge positions as data, let tocsr()
+        # sort them into CSR slot order, and read the slot -> edge permutation
+        # back out (no duplicate coordinates, so nothing is summed).
+        template = sparse.coo_matrix(
+            (np.arange(1, len(self.edges) + 1, dtype=float), (rows, cols)),
+            shape=(num_nodes, num_nodes),
+        ).tocsr()
+        self._csr_indices = template.indices
+        self._csr_indptr = template.indptr
+        self._csr_shape = (num_nodes, num_nodes)
+        self._slot_edge = template.data.astype(np.int64) - 1
+        slot_rows = np.repeat(
+            np.arange(num_nodes, dtype=np.int64), np.diff(template.indptr)
+        )
+        self._slot_rows = slot_rows
+        is_centroid = np.array(
+            [self._blocked_through(node) for node in self._nodes], dtype=bool
+        )
+        self._node_is_centroid = is_centroid
+        # Slots leaving a centroid: priced at +inf unless the centroid is the
+        # query's source (mirroring the Python expansion rule exactly).
+        self._centroid_out_slots = is_centroid[slot_rows]
+        self._pair_edge: Dict[Tuple[int, int], int] = {
+            (int(rows[e]), int(cols[e])): e for e in range(len(self.edges))
+        }
+
+    @classmethod
+    def for_network(cls, network, backend: str = "auto") -> "ShortestPathOracle":
+        """Build an oracle for a network, honouring its TNTP centroid metadata.
+
+        The canonical constructor call (graph + commodities +
+        ``first_thru_node`` from the graph metadata) recurs across the CLI,
+        the solvers, the scenario toolkit and the benchmarks; this factory is
+        the single spelling of it.
+        """
+        return cls(
+            network.graph,
+            network.commodities,
+            first_thru_node=network.graph.graph.get("first_thru_node"),
+            backend=backend,
+        )
 
     @property
     def num_edges(self) -> int:
@@ -154,11 +260,17 @@ class ShortestPathOracle:
         costs: np.ndarray,
         targets: Optional[set] = None,
     ) -> Tuple[Dict[Hashable, float], Dict[Hashable, int]]:
-        """One-to-many Dijkstra; returns distance and predecessor-edge maps.
+        """One-to-many Dijkstra on the selected backend.
 
-        Expansion stops early once every target is settled.  Ties are broken
-        by heap insertion order, which is deterministic for fixed costs.
+        Returns distance and predecessor-edge maps covering every reached
+        node; unreachable nodes are absent from both.
         """
+        costs = self._check_costs(costs)
+        if self.backend == "scipy":
+            return self._dijkstra_scipy(source, costs)
+        return self._dijkstra_python(source, costs, targets)
+
+    def _check_costs(self, costs: np.ndarray) -> np.ndarray:
         costs = np.asarray(costs, dtype=float)
         if len(costs) != self.num_edges:
             raise ValueError(
@@ -166,6 +278,110 @@ class ShortestPathOracle:
             )
         if np.any(costs < 0):
             raise ValueError("Dijkstra requires non-negative edge costs")
+        return costs
+
+    def _query_commodity_sources(
+        self, costs: np.ndarray
+    ) -> Dict[Hashable, Tuple[Dict[Hashable, float], Dict[Hashable, int]]]:
+        """Return each commodity source's (distance, predecessor) maps.
+
+        The scipy backend answers all sources in as few C calls as possible
+        (one, when the graph has no centroids); the Python backend runs one
+        early-terminating heap Dijkstra per source.
+        """
+        costs = self._check_costs(costs)
+        if self.backend == "scipy":
+            return self._scipy_query_sources(list(self._sinks_by_source), costs)
+        return {
+            source: self._dijkstra_python(
+                source, costs, targets={sink for _, sink in pairs}
+            )
+            for source, pairs in self._sinks_by_source.items()
+        }
+
+    def _maps_from_arrays(
+        self, dist: np.ndarray, pred: np.ndarray
+    ) -> Tuple[Dict[Hashable, float], Dict[Hashable, int]]:
+        """Convert scipy's distance/predecessor arrays into the map contract."""
+        distance: Dict[Hashable, float] = {}
+        predecessor: Dict[Hashable, int] = {}
+        for i in np.flatnonzero(np.isfinite(dist)):
+            node_position = int(i)
+            distance[self._nodes[node_position]] = float(dist[node_position])
+            p = int(pred[node_position])
+            if p >= 0:
+                predecessor[self._nodes[node_position]] = self._pair_edge[
+                    (p, node_position)
+                ]
+        return distance, predecessor
+
+    def _scipy_query_sources(
+        self, sources: Sequence[Hashable], costs: np.ndarray
+    ) -> Dict[Hashable, Tuple[Dict[Hashable, float], Dict[Hashable, int]]]:
+        """Batched one-to-many queries over the CSR adjacency template.
+
+        Outgoing arcs of every centroid are priced at ``+inf`` (scipy treats
+        them as unreachable-through), which is exactly the Python backend's
+        expansion rule; explicit zero-cost arcs remain genuine zero-weight
+        edges in scipy's sparse convention.  All non-centroid sources share
+        one blocked matrix and run as a *single* multi-source C call --
+        which, with TNTP's ``first_thru_node`` covering every node (as in
+        Sioux Falls), means one call per cost vector.  Centroid sources get
+        one call each (their own outgoing arcs must be restored).
+        """
+        from scipy import sparse
+        from scipy.sparse import csgraph
+
+        base = costs[self._slot_edge]
+        any_blocked = bool(self._centroid_out_slots.any())
+        results: Dict[Hashable, Tuple[Dict[Hashable, float], Dict[Hashable, int]]] = {}
+        source_positions = np.array(
+            [self._node_index[source] for source in sources], dtype=np.int64
+        )
+        centroid_source = self._node_is_centroid[source_positions]
+
+        def run(data: np.ndarray, indices: np.ndarray) -> None:
+            matrix = sparse.csr_matrix(
+                (data, self._csr_indices, self._csr_indptr), shape=self._csr_shape
+            )
+            dist, pred = csgraph.dijkstra(
+                matrix, indices=indices, return_predecessors=True
+            )
+            dist = np.atleast_2d(dist)
+            pred = np.atleast_2d(pred)
+            for row, position in enumerate(indices):
+                results[self._nodes[int(position)]] = self._maps_from_arrays(
+                    dist[row], pred[row]
+                )
+
+        plain = source_positions[~centroid_source]
+        if len(plain):
+            data = np.where(self._centroid_out_slots, np.inf, base) if any_blocked else base
+            run(data, plain)
+        for position in source_positions[centroid_source]:
+            data = np.where(
+                self._centroid_out_slots & (self._slot_rows != position), np.inf, base
+            )
+            run(data, np.array([position], dtype=np.int64))
+        return results
+
+    def _dijkstra_scipy(
+        self, source: Hashable, costs: np.ndarray
+    ) -> Tuple[Dict[Hashable, float], Dict[Hashable, int]]:
+        """One-source adapter over :meth:`_scipy_query_sources`."""
+        return self._scipy_query_sources([source], costs)[source]
+
+    def _dijkstra_python(
+        self,
+        source: Hashable,
+        costs: np.ndarray,
+        targets: Optional[set] = None,
+    ) -> Tuple[Dict[Hashable, float], Dict[Hashable, int]]:
+        """The reference heap Dijkstra; returns distance/predecessor maps.
+
+        Expansion stops early once every target is settled.  Ties are broken
+        by heap insertion order, which is deterministic for fixed costs.
+        """
         distance: Dict[Hashable, float] = {source: 0.0}
         predecessor: Dict[Hashable, int] = {}
         settled: set = set()
@@ -214,12 +430,11 @@ class ShortestPathOracle:
         return self._trace(source, sink, predecessor), float(distance[sink])
 
     def shortest_commodity_paths(self, costs: np.ndarray) -> List[Path]:
-        """Return one cheapest path per commodity (one Dijkstra per source)."""
+        """Return one cheapest path per commodity (grouped by source)."""
         results: List[Optional[Path]] = [None] * len(self.commodities)
+        maps = self._query_commodity_sources(costs)
         for source, pairs in self._sinks_by_source.items():
-            distance, predecessor = self._dijkstra(
-                source, costs, targets={sink for _, sink in pairs}
-            )
+            distance, predecessor = maps[source]
             for commodity_index, sink in pairs:
                 if sink not in distance:
                     raise ValueError(f"no path from {source!r} to {sink!r}")
@@ -241,10 +456,9 @@ class ShortestPathOracle:
             demands = np.array([c.demand for c in self.commodities])
         flows = np.zeros(self.num_edges)
         sptt = 0.0
+        maps = self._query_commodity_sources(costs)
         for source, pairs in self._sinks_by_source.items():
-            distance, predecessor = self._dijkstra(
-                source, costs, targets={sink for _, sink in pairs}
-            )
+            distance, predecessor = maps[source]
             for commodity_index, sink in pairs:
                 if sink not in distance:
                     raise ValueError(f"no path from {source!r} to {sink!r}")

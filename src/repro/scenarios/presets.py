@@ -1,0 +1,109 @@
+"""Named scenario presets for the CLI, benchmarks and examples.
+
+A preset is a *builder* ``network -> Scenario``: some presets inspect the
+instance (e.g. to find the busiest link for an incident), so scenarios are
+instantiated against a concrete network.  The catalogue:
+
+* ``morning-peak`` -- a trapezoidal demand ramp: the total demand rate climbs
+  to 1.5x between ``t = 5`` and ``t = 15`` and subsides again, the classic
+  peak/off-peak profile of traffic-assignment practice.
+* ``braess-closure`` -- the Braess shortcut closes during ``t in [10, 20)``:
+  the dynamics must migrate from the all-on-shortcut equilibrium (latency 2)
+  to the no-shortcut split (latency 3/2) and back -- the Braess paradox as a
+  live event.  Requires the ``braess`` instance (or any graph with the
+  ``a -> b`` shortcut edge).
+* ``sioux-falls-incident`` -- a capacity drop to 40% on the busiest link
+  (most loaded under free-flow all-or-nothing assignment) during
+  ``t in [4, 10)``.  Works on any instance with a shortest-path-reachable
+  graph; named for its intended Sioux Falls workload.
+
+Use :func:`register_scenario` to add project-specific presets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..wardrop.network import WardropNetwork
+from .incidents import LinkIncident
+from .scenario import Scenario
+from .schedule import peak_schedule
+
+ScenarioBuilder = Callable[[WardropNetwork], Scenario]
+
+
+def _morning_peak(network: WardropNetwork) -> Scenario:
+    return Scenario(
+        name="morning-peak",
+        demand=peak_schedule(base=1.0, peak=1.5, start=5.0, end=15.0, ramp=5.0),
+    )
+
+
+def _braess_closure(network: WardropNetwork) -> Scenario:
+    edge = ("a", "b", 0)
+    if not network.graph.has_edge(*edge):
+        raise ValueError(
+            "the braess-closure scenario needs the Braess shortcut edge "
+            "('a', 'b'); run it on the 'braess' instance"
+        )
+    return Scenario(
+        name="braess-closure",
+        incidents=[
+            LinkIncident(edge=edge, start=10.0, end=20.0, capacity_factor=0.0, closure_penalty=10.0)
+        ],
+    )
+
+
+def _busiest_link(network: WardropNetwork):
+    """Return the most-loaded graph edge under free-flow all-or-nothing."""
+    from ..largescale.shortest import ShortestPathOracle
+
+    oracle = ShortestPathOracle.for_network(network)
+    load = oracle.all_or_nothing(oracle.free_flow_costs(network))
+    return oracle.edges[int(np.argmax(load.edge_flows))]
+
+
+def _sioux_falls_incident(network: WardropNetwork) -> Scenario:
+    return Scenario(
+        name="sioux-falls-incident",
+        incidents=[
+            LinkIncident(
+                edge=_busiest_link(network),
+                start=4.0,
+                end=10.0,
+                capacity_factor=0.4,
+            )
+        ],
+    )
+
+
+_REGISTRY: Dict[str, ScenarioBuilder] = {
+    "morning-peak": _morning_peak,
+    "braess-closure": _braess_closure,
+    "sioux-falls-incident": _sioux_falls_incident,
+}
+
+
+def register_scenario(name: str, builder: ScenarioBuilder, overwrite: bool = False) -> None:
+    """Register a new named scenario builder."""
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"scenario {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def get_scenario(name: str, network: WardropNetwork) -> Scenario:
+    """Build the registered scenario ``name`` against ``network``."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from error
+    return builder(network)
+
+
+def available_scenarios() -> List[str]:
+    """Return the sorted list of registered scenario names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,406 @@
+"""The :class:`Scenario`: one nonstationary environment, engine-agnostic.
+
+A scenario bundles the three nonstationary effects of this package --
+time-varying total demand, time-varying latency coefficients and link
+incidents -- and compiles them, at any sample time, into per-edge
+``(gain, stretch, offset)`` triples: the affected edge latencies become
+
+    l_e^t(x) = gain_e(t) * l_e(stretch_e(t) * x) + offset_e(t)
+
+(see :class:`~repro.wardrop.latency.ModulatedLatency`).  Every engine applies
+the modulation *at phase boundaries*: the environment a phase runs in is
+frozen at the phase's start, which matches the paper's information model (the
+world, like the bulletin board, is sampled at discrete instants) and keeps
+batched and scalar runs bit-identical.
+
+:meth:`Scenario.network_at` materialises the effective network at a sample
+time as a lightweight :meth:`~repro.wardrop.network.WardropNetwork.with_latencies`
+copy -- cached per distinct modulation, so piecewise-constant scenarios build
+a handful of networks no matter how many phases run.
+:class:`ScenarioEnsemble` is the batched counterpart: it stacks the per-row
+effective networks of a whole ensemble into cached
+:class:`~repro.wardrop.family.NetworkFamily` objects whose per-edge
+:class:`~repro.wardrop.latency.LatencyStack` evaluation is fully vectorised
+(every covered edge is wrapped in a ``ModulatedLatency``, identity where a
+row is unaffected -- the identity modulation is float-transparent, so
+wrapping never perturbs a row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..wardrop.family import NetworkFamily
+from ..wardrop.latency import ModulatedLatency
+from ..wardrop.network import WardropNetwork
+from .incidents import EdgeKey, IncidentPlan, LinkIncident
+from .schedule import CoefficientSchedule, DemandSchedule, Schedule
+
+Triple = Tuple[float, float, float]
+
+IDENTITY_TRIPLE: Triple = (1.0, 1.0, 0.0)
+
+# Memoisation bounds.  Piecewise-constant scenarios revisit a handful of
+# modulations and never approach these; continuous profiles (ramps, periodic
+# peaks) produce a fresh modulation every phase, so without a bound the
+# caches would grow linearly with the phase count of a run.  Values held in
+# a cache keep their constituents alive, so ids used as keys can never be
+# reused while their entry is live.
+NETWORK_CACHE_LIMIT = 128
+FAMILY_CACHE_LIMIT = 64
+STACK_CACHE_LIMIT = 512
+MEMBER_CACHE_LIMIT = 256
+
+
+def _bounded_insert(cache: Dict, key, value, limit: int) -> None:
+    """Insert into a dict cache, evicting oldest entries beyond ``limit``."""
+    cache[key] = value
+    while len(cache) > limit:
+        cache.pop(next(iter(cache)))
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """One sampled scenario state: global and per-edge modulation factors.
+
+    ``demand`` stretches every latency argument (the total-demand multiplier);
+    ``gain`` scales every latency value (an all-edge coefficient multiplier);
+    ``edges`` holds the additional per-edge ``(gain, stretch, offset)``
+    triples of edge-scoped effects, sorted for hashability.  Equal modulations
+    compare (and hash) equal, which is what the per-scenario network caches
+    key on.
+    """
+
+    demand: float = 1.0
+    gain: float = 1.0
+    edges: Tuple[Tuple[EdgeKey, Triple], ...] = ()
+
+    @property
+    def is_identity(self) -> bool:
+        return self.demand == 1.0 and self.gain == 1.0 and not self.edges
+
+    def triple_for(self, edge: EdgeKey) -> Triple:
+        """Return the total ``(gain, stretch, offset)`` applied to one edge."""
+        gain, stretch, offset = dict(self.edges).get(edge, IDENTITY_TRIPLE)
+        return (self.gain * gain, self.demand * stretch, offset)
+
+
+class Scenario:
+    """A nonstationary environment: demand profile + coefficients + incidents.
+
+    Parameters
+    ----------
+    name:
+        Display name (echoed by the CLI and benchmark tables).
+    demand:
+        Optional total-demand profile -- a :class:`DemandSchedule` or a bare
+        :class:`~repro.scenarios.schedule.Schedule` (wrapped automatically).
+    coefficients:
+        Optional latency-coefficient profiles -- one
+        :class:`CoefficientSchedule` or a sequence of them (their effects
+        compose multiplicatively on shared edges).
+    incidents:
+        Optional :class:`IncidentPlan` or a sequence of
+        :class:`LinkIncident`.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        demand: Optional[Union[DemandSchedule, Schedule]] = None,
+        coefficients: Optional[Union[CoefficientSchedule, Sequence[CoefficientSchedule]]] = None,
+        incidents: Optional[Union[IncidentPlan, Sequence[LinkIncident]]] = None,
+    ):
+        self.name = name
+        if isinstance(demand, Schedule):
+            demand = DemandSchedule(demand)
+        self.demand = demand
+        if isinstance(coefficients, CoefficientSchedule):
+            coefficients = [coefficients]
+        self.coefficients: List[CoefficientSchedule] = list(coefficients or [])
+        if incidents is not None and not isinstance(incidents, IncidentPlan):
+            incidents = IncidentPlan(list(incidents))
+        self.incidents: Optional[IncidentPlan] = incidents
+        # Effective-network cache: (id(base), modulation, cover) -> network.
+        # The base is stored alongside so its id stays valid for the cache's
+        # lifetime.  Dropped on pickling (rebuilt lazily in workers).
+        self._cache: Dict[Tuple, Tuple[WardropNetwork, WardropNetwork]] = {}
+
+    # Pickling (process-pool dispatch) ---------------------------------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        return state
+
+    # Sampling ----------------------------------------------------------------
+
+    def modulation_at(self, t: float) -> Modulation:
+        """Return the scenario state frozen at sample time ``t``."""
+        demand = self.demand.multiplier_at(t) if self.demand is not None else 1.0
+        gain = 1.0
+        per_edge: Dict[EdgeKey, Triple] = {}
+        for coefficient in self.coefficients:
+            value = coefficient.gain_at(t)
+            if coefficient.edges is None:
+                gain *= value
+                continue
+            if value == 1.0:
+                continue
+            for edge in coefficient.edges:
+                g, s, o = per_edge.get(edge, IDENTITY_TRIPLE)
+                per_edge[edge] = (g * value, s, o)
+        if self.incidents is not None:
+            for edge, (g, s, o) in self.incidents.modulation_at(t).items():
+                base_g, base_s, base_o = per_edge.get(edge, IDENTITY_TRIPLE)
+                per_edge[edge] = (base_g * g, base_s * s, base_o + o)
+        edges = tuple(sorted(per_edge.items(), key=lambda item: str(item[0])))
+        return Modulation(demand=demand, gain=gain, edges=edges)
+
+    def breakpoints(self, start: float, end: float) -> List[float]:
+        """Return every instant in ``[start, end)`` where the state can jump."""
+        points = set()
+        if self.demand is not None:
+            points.update(self.demand.breakpoints(start, end))
+        for coefficient in self.coefficients:
+            points.update(coefficient.breakpoints(start, end))
+        if self.incidents is not None:
+            points.update(self.incidents.breakpoints(start, end))
+        return sorted(points)
+
+    def closed_edges(self, t: float) -> FrozenSet[EdgeKey]:
+        """Return the edges fully closed by an incident at time ``t``."""
+        if self.incidents is None:
+            return frozenset()
+        return self.incidents.closed_edges(t)
+
+    def require_edges(self, base: WardropNetwork) -> None:
+        """Raise if an edge-scoped effect names an edge absent from ``base``.
+
+        Effects on unknown edges would otherwise be silently dropped -- a
+        typo'd incident edge (or a scenario built for a different instance)
+        would run as a stationary no-op while the tracking metrics report on
+        an incident that never happened.  Every engine validates once at run
+        start.
+        """
+        missing = []
+        for coefficient in self.coefficients:
+            for edge in coefficient.edges or []:
+                if not base.graph.has_edge(*edge):
+                    missing.append(edge)
+        if self.incidents is not None:
+            for edge in self.incidents.edges():
+                if not base.graph.has_edge(*edge):
+                    missing.append(edge)
+        if missing:
+            label = f" {self.name!r}" if self.name else ""
+            raise ValueError(
+                f"scenario{label} names edges that are not in the network "
+                f"graph: {missing}"
+            )
+
+    def scope(self, base: WardropNetwork) -> Optional[List[EdgeKey]]:
+        """Return the graph edges this scenario can ever touch on ``base``.
+
+        ``None`` means *every* edge (a demand or all-edge coefficient profile
+        modulates the whole network).  Edge-scoped effects return only the
+        edges present in the base graph.
+        """
+        if self.demand is not None or any(c.edges is None for c in self.coefficients):
+            return None
+        edges: List[EdgeKey] = []
+        for coefficient in self.coefficients:
+            edges.extend(coefficient.edges or [])
+        if self.incidents is not None:
+            edges.extend(self.incidents.edges())
+        seen: List[EdgeKey] = []
+        for edge in edges:
+            if edge not in seen and base.graph.has_edge(*edge):
+                seen.append(edge)
+        return seen
+
+    # Effective networks ------------------------------------------------------
+
+    def network_at(
+        self,
+        base: WardropNetwork,
+        t: float,
+        cover: Optional[Tuple[EdgeKey, ...]] = None,
+    ) -> WardropNetwork:
+        """Return the effective network at sample time ``t`` (cached).
+
+        The result is a lightweight ``with_latencies`` copy of ``base`` whose
+        affected edges carry :class:`ModulatedLatency` wrappers.  ``cover``
+        (used by :class:`ScenarioEnsemble`) lists additional on-path edges to
+        wrap with the *identity* modulation so the batched per-edge latency
+        stacks stay type-homogeneous; identity wrapping is float-transparent,
+        so covered scalar and uncovered scalar evaluation agree bit for bit.
+        """
+        modulation = self.modulation_at(t)
+        if modulation.is_identity and not cover:
+            return base
+        key = (id(base), modulation, cover)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached[1]
+        # dict-as-ordered-set: cover edges may overlap the modulated ones.
+        targets: Dict[EdgeKey, None] = {}
+        if modulation.demand != 1.0 or modulation.gain != 1.0:
+            targets.update((edge, None) for edge in base.graph.edges(keys=True))
+        else:
+            targets.update(
+                (edge, None)
+                for edge, _ in modulation.edges
+                if base.graph.has_edge(*edge)
+            )
+        if cover:
+            targets.update((edge, None) for edge in cover)
+        per_edge = dict(modulation.edges)
+        overrides = {}
+        for edge in targets:
+            gain, stretch, offset = per_edge.get(edge, IDENTITY_TRIPLE)
+            overrides[edge] = ModulatedLatency(
+                base.latency_function(edge),
+                modulation.gain * gain,
+                modulation.demand * stretch,
+                offset,
+            )
+        network = base.with_latencies(overrides) if overrides else base
+        _bounded_insert(self._cache, key, (base, network), NETWORK_CACHE_LIMIT)
+        return network
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.demand is not None:
+            parts.append(f"demand={self.demand!r}")
+        if self.coefficients:
+            parts.append(f"coefficients={self.coefficients!r}")
+        if self.incidents is not None:
+            parts.append(f"incidents={self.incidents!r}")
+        label = f"{self.name!r}, " if self.name else ""
+        return f"Scenario({label}{', '.join(parts)})"
+
+
+class ScenarioEnsemble:
+    """Per-row scenarios of a batched run, stacked into cached families.
+
+    ``base`` is the shared :class:`WardropNetwork` or the
+    :class:`NetworkFamily` the batch routes on; ``scenarios`` holds one
+    :class:`Scenario` (or ``None`` for a stationary row) per batch row.
+    :meth:`family_at` returns the effective family at per-row sample times;
+    families are cached by their member combination, so piecewise-constant
+    scenario sweeps (e.g. 32 incident timings) build one family per distinct
+    environment combination, not one per phase.
+    """
+
+    def __init__(
+        self,
+        base: Union[WardropNetwork, NetworkFamily],
+        scenarios: Sequence[Optional[Scenario]],
+    ):
+        self.scenarios: List[Optional[Scenario]] = list(scenarios)
+        if isinstance(base, NetworkFamily):
+            if base.size != len(self.scenarios):
+                raise ValueError(
+                    f"family of {base.size} networks for {len(self.scenarios)} scenarios"
+                )
+            self.bases: List[WardropNetwork] = [
+                base.member(row) for row in range(base.size)
+            ]
+            structure = base.base
+        else:
+            self.bases = [base] * len(self.scenarios)
+            structure = base
+        # The cover: every on-path edge some row's scenario can touch.  All
+        # rows wrap exactly these edges (identity where unaffected), so each
+        # edge's latency stack holds one ModulatedLatency per row and
+        # vectorises through the stacked evaluator.
+        for row, scenario in enumerate(self.scenarios):
+            if scenario is not None:
+                scenario.require_edges(self.bases[row])
+        cover_all = False
+        scoped: List[EdgeKey] = []
+        for row, scenario in enumerate(self.scenarios):
+            if scenario is None:
+                continue
+            scope = scenario.scope(self.bases[row])
+            if scope is None:
+                cover_all = True
+                break
+            scoped.extend(scope)
+        if cover_all:
+            self.cover: Tuple[EdgeKey, ...] = tuple(structure.edges)
+        else:
+            scoped_set = set(scoped)
+            self.cover = tuple(edge for edge in structure.edges if edge in scoped_set)
+        self._structure = structure
+        self._identity_members: Dict[int, Tuple[WardropNetwork, WardropNetwork]] = {}
+        self._families: Dict[Tuple[int, ...], NetworkFamily] = {}
+        # Stack memoisation: most per-phase family swaps change the latency
+        # functions of only a few edges (the ones whose modulation toggled),
+        # so per-edge LatencyStacks are cached by their function identities
+        # and the per-member function rows are fetched once per distinct
+        # effective member.
+        self._member_functions: Dict[int, Tuple[WardropNetwork, List]] = {}
+        self._stack_cache: Dict[Tuple[int, ...], "LatencyStack"] = {}
+
+    def _functions_of(self, member: WardropNetwork) -> List:
+        cached = self._member_functions.get(id(member))
+        if cached is None:
+            cached = (
+                member,
+                [member.latency_function(edge) for edge in self._structure.edges],
+            )
+            _bounded_insert(
+                self._member_functions, id(member), cached, MEMBER_CACHE_LIMIT
+            )
+        return cached[1]
+
+    def _stacks_for(self, members: Sequence[WardropNetwork]) -> List["LatencyStack"]:
+        from ..wardrop.latency import LatencyStack
+
+        rows = [self._functions_of(member) for member in members]
+        stacks = []
+        for position in range(len(self._structure.edges)):
+            functions = [row[position] for row in rows]
+            key = tuple(id(function) for function in functions)
+            stack = self._stack_cache.get(key)
+            if stack is None:
+                stack = LatencyStack(functions)
+                _bounded_insert(self._stack_cache, key, stack, STACK_CACHE_LIMIT)
+            stacks.append(stack)
+        return stacks
+
+    def _identity(self, base: WardropNetwork) -> WardropNetwork:
+        """Return ``base`` with identity wrappers on the covered edges."""
+        if not self.cover:
+            return base
+        cached = self._identity_members.get(id(base))
+        if cached is not None:
+            return cached[1]
+        wrapped = base.with_latencies(
+            {edge: ModulatedLatency(base.latency_function(edge)) for edge in self.cover}
+        )
+        self._identity_members[id(base)] = (base, wrapped)
+        return wrapped
+
+    def family_at(self, times: np.ndarray) -> NetworkFamily:
+        """Return the effective family at per-row sample times ``(B,)``."""
+        members: List[WardropNetwork] = []
+        for row, scenario in enumerate(self.scenarios):
+            base = self.bases[row]
+            if scenario is None:
+                members.append(self._identity(base))
+            else:
+                members.append(scenario.network_at(base, float(times[row]), cover=self.cover))
+        key = tuple(id(member) for member in members)
+        family = self._families.get(key)
+        if family is None:
+            family = NetworkFamily(
+                members, validate=False, stacks=self._stacks_for(members)
+            )
+            _bounded_insert(self._families, key, family, FAMILY_CACHE_LIMIT)
+        return family

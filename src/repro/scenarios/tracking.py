@@ -1,0 +1,271 @@
+"""Equilibrium tracking: ground truth and metrics for moving equilibria.
+
+Under a nonstationary scenario the Wardrop equilibrium itself moves: every
+interval between scenario breakpoints has its own *instantaneous* equilibrium
+(the equilibrium of the environment frozen on that interval).  The paper's
+convergence guarantees then become *tracking* statements -- how closely, and
+how quickly after each breakpoint, do the stale-information dynamics chase
+the moving target?
+
+This module computes the ground truth and the three tracking metrics:
+
+* :func:`interval_equilibria` solves one equilibrium per scenario interval,
+  reusing the path-based Frank--Wolfe solver on enumerable instances and the
+  edge-flow (oracle-driven) solver on road networks,
+* :func:`tracking_error` measures the L1 distance of a trajectory to the
+  instantaneous equilibrium over time,
+* :func:`time_to_reequilibrate` measures how long after a breakpoint the
+  error needs to re-enter a tolerance band,
+* :func:`tracking_regret` integrates the *Beckmann-potential* excess over
+  the instantaneous optimum.  The instantaneous equilibrium minimises the
+  Beckmann potential of its interval's environment, so this gap is
+  non-negative (up to solver tolerance) -- unlike the average-latency
+  excess, which can be negative away from equilibrium (Pigou's example: the
+  equilibrium is not the social optimum).
+
+Solving is cached by *modulation*: a 32-row incident-timing sweep whose rows
+share the same incident magnitude needs exactly two equilibrium solves
+(nominal and incident-active), not ``2 * 32``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from ..largescale.shortest import ShortestPathOracle
+from ..solvers.edge_frank_wolfe import solve_edge_flow_equilibrium
+from ..solvers.frank_wolfe import solve_wardrop_equilibrium
+from ..wardrop.network import WardropNetwork
+from .scenario import Modulation, Scenario
+
+# Path-space Frank--Wolfe enumerates over the instance's path set; beyond
+# this many paths (or on restricted road instances) the edge-flow solver is
+# the right ground truth.
+AUTO_PATH_SPACE_LIMIT = 200
+
+
+@dataclass(frozen=True)
+class IntervalEquilibrium:
+    """The ground-truth equilibrium of one scenario interval.
+
+    ``flow_values`` is the path-space equilibrium (``None`` in edge space);
+    ``edge_flows`` is the oracle-order edge-flow equilibrium (``None`` in
+    path space).  ``average_latency`` is the equilibrium's average latency in
+    the interval's effective environment (normalised TSTT); ``potential`` is
+    its Beckmann potential, the reference :func:`tracking_regret` subtracts.
+    """
+
+    modulation: Modulation
+    flow_values: Optional[np.ndarray]
+    edge_flows: Optional[np.ndarray]
+    average_latency: float
+    potential: float
+    converged: bool
+
+
+@dataclass
+class EquilibriumTrack:
+    """Per-interval equilibria of one (network, scenario, horizon) triple.
+
+    ``times[i]`` is the start of interval ``i``; interval ``i`` covers
+    ``[times[i], times[i+1])`` (the last one runs to the horizon).
+    """
+
+    network: WardropNetwork
+    scenario: Scenario
+    space: str
+    times: np.ndarray
+    equilibria: List[IntervalEquilibrium]
+    oracle: Optional[ShortestPathOracle] = None
+    solves: int = field(default=0)
+
+    def index_at(self, t: float) -> int:
+        """Return the interval index containing time ``t``."""
+        return int(np.clip(np.searchsorted(self.times, t, side="right") - 1, 0, len(self.times) - 1))
+
+    def equilibrium_at(self, t: float) -> IntervalEquilibrium:
+        return self.equilibria[self.index_at(t)]
+
+
+def _solve_interval(
+    network: WardropNetwork,
+    effective: WardropNetwork,
+    modulation: Modulation,
+    space: str,
+    tolerance: float,
+    oracle: Optional[ShortestPathOracle],
+) -> IntervalEquilibrium:
+    if space == "path":
+        result = solve_wardrop_equilibrium(effective, tolerance=tolerance)
+        return IntervalEquilibrium(
+            modulation=modulation,
+            flow_values=result.flow.values(),
+            edge_flows=None,
+            average_latency=float(result.flow.average_latency()),
+            potential=float(result.potential_value),
+            converged=result.converged,
+        )
+    result = solve_edge_flow_equilibrium(effective, tolerance=tolerance, oracle=oracle)
+    return IntervalEquilibrium(
+        modulation=modulation,
+        flow_values=None,
+        edge_flows=result.edge_flows,
+        average_latency=float(result.tstt),
+        potential=float(result.potential_value),
+        converged=result.converged,
+    )
+
+
+def interval_equilibria(
+    network: WardropNetwork,
+    scenario: Scenario,
+    horizon: float,
+    space: str = "auto",
+    tolerance: float = 1e-6,
+    sample_every: Optional[float] = None,
+    oracle: Optional[ShortestPathOracle] = None,
+    cache: Optional[Dict] = None,
+) -> EquilibriumTrack:
+    """Solve the instantaneous equilibrium of every scenario interval.
+
+    Parameters
+    ----------
+    network:
+        The base (stationary) instance.
+    scenario / horizon:
+        The nonstationary environment and the time range ``[0, horizon)``.
+    space:
+        ``"path"`` (path-based Frank--Wolfe on the enumerated path set),
+        ``"edge"`` (oracle-driven edge-flow Frank--Wolfe over the full graph)
+        or ``"auto"`` (path space up to :data:`AUTO_PATH_SPACE_LIMIT` paths).
+    sample_every:
+        Optional extra grid spacing: continuous profiles (piecewise-linear
+        ramps, periodic peaks) move between breakpoints, so a finite grid
+        refines the piecewise-constant ground-truth approximation.
+    oracle:
+        Optional pre-built shortest-path oracle (edge space), shared across
+        rows by the benchmark.
+    cache:
+        Optional dict shared across calls: equilibria are memoised by
+        ``(modulation, space, tolerance)``, so sweeps whose rows revisit the
+        same environment states (e.g. the same incident at different times)
+        solve each distinct state once.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if space == "auto":
+        space = "path" if network.num_paths <= AUTO_PATH_SPACE_LIMIT else "edge"
+    if space not in ("path", "edge"):
+        raise ValueError(f"unknown tracking space {space!r}; use 'path', 'edge' or 'auto'")
+    if space == "edge" and oracle is None:
+        oracle = ShortestPathOracle.for_network(network)
+    times = {0.0}
+    times.update(scenario.breakpoints(0.0, horizon))
+    if sample_every is not None:
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        times.update(np.arange(0.0, horizon, sample_every).tolist())
+    ordered = np.array(sorted(times))
+    cache = cache if cache is not None else {}
+    equilibria: List[IntervalEquilibrium] = []
+    solves = 0
+    for t in ordered:
+        modulation = scenario.modulation_at(float(t))
+        key = (modulation, space, tolerance)
+        entry = cache.get(key)
+        if entry is None:
+            effective = scenario.network_at(network, float(t))
+            entry = _solve_interval(network, effective, modulation, space, tolerance, oracle)
+            cache[key] = entry
+            solves += 1
+        equilibria.append(entry)
+    return EquilibriumTrack(
+        network=network,
+        scenario=scenario,
+        space=space,
+        times=ordered,
+        equilibria=equilibria,
+        oracle=oracle,
+        solves=solves,
+    )
+
+
+def tracking_error(trajectory: Trajectory, track: EquilibriumTrack) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(times, errors)``: L1 distance to the moving equilibrium.
+
+    Path-space tracks compare path flows directly; edge-space tracks compare
+    the trajectory's edge flows (expanded to the oracle's full edge order)
+    with the edge-flow equilibrium.  Evaluated at every recorded trajectory
+    point.
+    """
+    network = track.network
+    times = np.array([point.time for point in trajectory.points])
+    errors = np.empty(len(times))
+    positions = None
+    if track.space == "edge":
+        positions = track.oracle.network_edge_positions(network)
+    for i, point in enumerate(trajectory.points):
+        reference = track.equilibrium_at(float(times[i]))
+        if track.space == "path":
+            errors[i] = float(np.abs(point.flow.values() - reference.flow_values).sum())
+        else:
+            full = np.zeros(track.oracle.num_edges)
+            full[positions] = network.edge_flows(point.flow.values())
+            errors[i] = float(np.abs(full - reference.edge_flows).sum())
+    return times, errors
+
+
+def time_to_reequilibrate(
+    times: np.ndarray,
+    errors: np.ndarray,
+    breakpoint_time: float,
+    tolerance: float,
+) -> float:
+    """Return how long after ``breakpoint_time`` the error re-enters ``tolerance``.
+
+    Measured on the sample grid: the first recorded time ``>= breakpoint_time``
+    with ``error <= tolerance``, minus the breakpoint.  ``inf`` if the error
+    never recovers within the recorded range.
+    """
+    after = (times >= breakpoint_time) & (errors <= tolerance)
+    if not after.any():
+        return float("inf")
+    return float(times[np.argmax(after)] - breakpoint_time)
+
+
+def tracking_regret(
+    trajectory: Trajectory,
+    track: EquilibriumTrack,
+) -> float:
+    """Return the time-integrated Beckmann-potential gap to the moving optimum.
+
+    At every recorded point the trajectory's flow is priced in the *current*
+    effective environment and its Beckmann potential is compared with the
+    instantaneous equilibrium's (which minimises it); the gap is integrated
+    by the trapezoid rule.  The potential is the Lyapunov function of the
+    paper's dynamics, so this is the natural "cost of chasing" metric: zero
+    iff the dynamics sit on the instantaneous equilibrium throughout, and
+    non-negative up to solver tolerance.
+    """
+    from ..wardrop.potential import potential
+    from ..wardrop.flow import FlowVector
+
+    network = track.network
+    scenario = track.scenario
+    times = np.array([point.time for point in trajectory.points])
+    excess = np.empty(len(times))
+    for i, point in enumerate(trajectory.points):
+        t = float(times[i])
+        effective = scenario.network_at(network, t)
+        value = potential(FlowVector(effective, point.flow.values(), validate=False))
+        excess[i] = value - track.equilibrium_at(t).potential
+    if len(times) < 2:
+        return 0.0
+    # np.trapezoid is the numpy >= 2 name; fall back to trapz on 1.x so this
+    # module does not silently raise the project's numpy floor.
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(excess, times))

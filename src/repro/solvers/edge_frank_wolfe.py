@@ -107,11 +107,7 @@ def solve_edge_flow_equilibrium(
         all-or-nothing flow at free-flow costs, the classical initialiser.
     """
     if oracle is None:
-        oracle = ShortestPathOracle(
-            network.graph,
-            network.commodities,
-            first_thru_node=network.graph.graph.get("first_thru_node"),
-        )
+        oracle = ShortestPathOracle.for_network(network)
     if initial_edge_flows is None:
         flows = oracle.all_or_nothing(oracle.free_flow_costs(network)).edge_flows
     else:

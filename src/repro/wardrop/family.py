@@ -53,6 +53,19 @@ class NetworkFamily:
         The family members.  All must share the topology of the first
         (validated via :func:`topology_signature` and the incidence matrix);
         latency functions may differ per member.
+    validate:
+        Set to ``False`` to skip the ``O(paths)`` topology check when the
+        members are same-structure by construction -- e.g. the
+        :meth:`~repro.wardrop.network.WardropNetwork.with_latencies` clones
+        the scenario layer stacks every phase, which share the base network's
+        path-set and incidence objects outright.
+    stacks:
+        Internal: prebuilt per-edge :class:`LatencyStack` objects, one per
+        ``base.edges`` entry, built from exactly the members' latency
+        functions in member order.  The scenario layer's
+        :class:`~repro.scenarios.scenario.ScenarioEnsemble` passes memoised
+        stacks here so per-phase family swaps reuse the stacks of edges whose
+        functions did not change.
 
     The family exposes the same batched evaluation methods as a single
     :class:`WardropNetwork` (``edge_flows_batch``, ``edge_latencies_batch``,
@@ -62,27 +75,41 @@ class NetworkFamily:
     (converged or horizon-exhausted) rows skip latency work.
     """
 
-    def __init__(self, networks: Sequence[WardropNetwork]):
+    def __init__(
+        self,
+        networks: Sequence[WardropNetwork],
+        validate: bool = True,
+        stacks: Optional[Sequence[LatencyStack]] = None,
+    ):
         networks = list(networks)
         if not networks:
             raise ValueError("a network family needs at least one member")
         base = networks[0]
-        signature = topology_signature(base)
-        for index, network in enumerate(networks[1:], start=1):
-            if topology_signature(network) != signature:
-                raise ValueError(
-                    f"family member {index} has a different topology than member 0"
-                )
-            if not np.array_equal(network.incidence, base.incidence):
-                raise ValueError(
-                    f"family member {index} has a different incidence matrix than member 0"
-                )
+        if validate:
+            signature = topology_signature(base)
+            for index, network in enumerate(networks[1:], start=1):
+                if topology_signature(network) != signature:
+                    raise ValueError(
+                        f"family member {index} has a different topology than member 0"
+                    )
+                if not np.array_equal(network.incidence, base.incidence):
+                    raise ValueError(
+                        f"family member {index} has a different incidence matrix than member 0"
+                    )
         self.networks: List[WardropNetwork] = networks
         self.base = base
-        self._stacks = [
-            LatencyStack([network.latency_function(edge) for network in networks])
-            for edge in base.edges
-        ]
+        if stacks is not None:
+            stacks = list(stacks)
+            if len(stacks) != len(base.edges):
+                raise ValueError(
+                    f"got {len(stacks)} prebuilt stacks for {len(base.edges)} edges"
+                )
+            self._stacks = stacks
+        else:
+            self._stacks = [
+                LatencyStack([network.latency_function(edge) for network in networks])
+                for edge in base.edges
+            ]
 
     # Construction helpers -------------------------------------------------
 

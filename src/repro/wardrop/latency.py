@@ -32,18 +32,43 @@ import numpy as np
 StackedEvaluator = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
+def _int_pow(x, exponent: int):
+    """Return ``x ** exponent`` by binary exponentiation (scalars or arrays).
+
+    Numpy's vectorised pow kernel and the scalar ``float ** int`` (libm) pow
+    disagree by an ulp on a few percent of inputs, which would break the
+    bit-for-bit contract between the scalar and the batched engines wherever
+    a latency uses an integer power (BPR, monomials).  Binary exponentiation
+    performs the *same* multiplication sequence elementwise whether ``x`` is
+    a float or an array, so every evaluation tier produces identical bits --
+    and for the small exponents of road latencies (BPR beta = 4 is two
+    squarings) it is faster than pow as well.
+    """
+    exponent = int(exponent)
+    result = None
+    base = x
+    while True:
+        if exponent & 1:
+            result = base if result is None else result * base
+        exponent >>= 1
+        if not exponent:
+            break
+        base = base * base
+    if result is None:  # exponent == 0
+        return x * 0 + 1.0
+    return result
+
+
 def _int_power(x: np.ndarray, exponents: np.ndarray) -> np.ndarray:
     """Return ``x ** exponents`` with per-element integer exponents.
 
-    ``x ** int64_array`` takes numpy's repeated-multiplication fast path,
-    which differs from the libm pow used for scalar ``float ** int`` by an
-    ulp; grouping by exponent and raising to a Python int keeps stacked
-    evaluation bit-identical to the scalar path.
+    Groups by exponent and applies :func:`_int_pow` per group, so per-row
+    stacked evaluation performs exactly the scalar multiplication sequence.
     """
     result = np.empty_like(x)
     for exponent in np.unique(exponents):
         selected = exponents == exponent
-        result[selected] = x[selected] ** int(exponent)
+        result[selected] = _int_pow(x[selected], int(exponent))
     return result
 
 
@@ -338,7 +363,7 @@ class MonomialLatency(LatencyFunction):
         self.degree = int(degree)
 
     def value(self, x: float) -> float:
-        return self.coefficient * x**self.degree
+        return self.coefficient * _int_pow(x, self.degree)
 
     def derivative(self, x: float) -> float:
         return self.coefficient * self.degree * x ** (self.degree - 1)
@@ -350,7 +375,7 @@ class MonomialLatency(LatencyFunction):
         return self.derivative(hi)
 
     def value_array(self, x: np.ndarray) -> np.ndarray:
-        return self.coefficient * np.asarray(x, dtype=float) ** self.degree
+        return self.coefficient * _int_pow(np.asarray(x, dtype=float), self.degree)
 
     @classmethod
     def stacked_evaluator(cls, functions):
@@ -360,7 +385,7 @@ class MonomialLatency(LatencyFunction):
             degree = int(degrees[0])
 
             def evaluate(x, rows):
-                return coefficients[rows] * np.asarray(x, dtype=float) ** degree
+                return coefficients[rows] * _int_pow(np.asarray(x, dtype=float), degree)
 
         else:
 
@@ -390,7 +415,7 @@ class BPRLatency(LatencyFunction):
         self.beta = int(beta)
 
     def value(self, x: float) -> float:
-        return self.free_flow_time * (1.0 + self.alpha * (x / self.capacity) ** self.beta)
+        return self.free_flow_time * (1.0 + self.alpha * _int_pow(x / self.capacity, self.beta))
 
     def derivative(self, x: float) -> float:
         return (
@@ -411,7 +436,7 @@ class BPRLatency(LatencyFunction):
 
     def value_array(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
-        return self.free_flow_time * (1.0 + self.alpha * (x / self.capacity) ** self.beta)
+        return self.free_flow_time * (1.0 + self.alpha * _int_pow(x / self.capacity, self.beta))
 
     @classmethod
     def stacked_evaluator(cls, functions):
@@ -425,7 +450,7 @@ class BPRLatency(LatencyFunction):
             def evaluate(x, rows):
                 x = np.asarray(x, dtype=float)
                 return free_flow_times[rows] * (
-                    1.0 + alphas[rows] * (x / capacities[rows]) ** exponent
+                    1.0 + alphas[rows] * _int_pow(x / capacities[rows], exponent)
                 )
 
         else:
@@ -598,23 +623,50 @@ class PiecewiseLinearLatency(LatencyFunction):
 
     @classmethod
     def stacked_evaluator(cls, functions):
-        # The rows may differ in their y-coordinates (e.g. a beta sweep of the
-        # oscillation latency) but must share breakpoint x-coordinates so one
-        # searchsorted locates every row's segment.
         xs = np.asarray(functions[0].xs)
-        if any(
-            len(f.xs) != len(xs) or not np.array_equal(np.asarray(f.xs), xs)
+        if all(
+            len(f.xs) == len(xs) and np.array_equal(np.asarray(f.xs), xs)
             for f in functions[1:]
         ):
-            return None
-        ys = np.array([f.ys for f in functions])
+            # Shared breakpoint x-coordinates (e.g. a beta sweep of the
+            # oscillation latency): one searchsorted locates every row's
+            # segment at once.
+            ys = np.array([f.ys for f in functions])
+
+            def evaluate(x, rows):
+                x = np.asarray(x, dtype=float)
+                idx = np.clip(np.searchsorted(xs, x, side="right") - 1, 0, len(xs) - 2)
+                y_lo = ys[rows, idx]
+                slopes = (ys[rows, idx + 1] - y_lo) / (xs[idx + 1] - xs[idx])
+                return y_lo + slopes * (x - xs[idx])
+
+            return evaluate
+        # Per-row breakpoint x-coordinates (e.g. a threshold sweep): pad every
+        # row to the widest breakpoint count.  Padded x-slots hold +inf so the
+        # row-wise count of "xs <= x" never includes them, and the segment
+        # index is clipped to each row's own last real segment -- the selected
+        # segment, and hence the interpolation arithmetic, matches the scalar
+        # `_segment`/`value` pair exactly.
+        lengths = np.array([len(f.xs) for f in functions])
+        width = int(lengths.max())
+        padded_xs = np.full((len(functions), width), np.inf)
+        padded_ys = np.zeros((len(functions), width))
+        for i, f in enumerate(functions):
+            padded_xs[i, : len(f.xs)] = f.xs
+            padded_ys[i, : len(f.ys)] = f.ys
+        last_segment = lengths - 2
 
         def evaluate(x, rows):
             x = np.asarray(x, dtype=float)
-            idx = np.clip(np.searchsorted(xs, x, side="right") - 1, 0, len(xs) - 2)
-            y_lo = ys[rows, idx]
-            slopes = (ys[rows, idx + 1] - y_lo) / (xs[idx + 1] - xs[idx])
-            return y_lo + slopes * (x - xs[idx])
+            row_xs = padded_xs[rows]
+            row_ys = padded_ys[rows]
+            counts = (row_xs <= x[:, None]).sum(axis=1)
+            idx = np.clip(counts - 1, 0, last_segment[rows])
+            at = np.arange(len(idx))
+            x_lo = row_xs[at, idx]
+            y_lo = row_ys[at, idx]
+            slopes = (row_ys[at, idx + 1] - y_lo) / (row_xs[at, idx + 1] - x_lo)
+            return y_lo + slopes * (x - x_lo)
 
         return evaluate
 
@@ -682,6 +734,90 @@ class ScaledLatency(LatencyFunction):
 
     def __repr__(self) -> str:
         return f"ScaledLatency({self.base!r}, {self.factor})"
+
+
+class ModulatedLatency(LatencyFunction):
+    """A scenario-modulated latency ``l(x) = gain * base(stretch * x) + offset``.
+
+    This is the single primitive every nonstationary-scenario effect compiles
+    to (:mod:`repro.scenarios`):
+
+    * a *demand* multiplier ``m`` stretches the flow argument (``stretch = m``:
+      a flow share ``x`` experiences the latency of the absolute flow
+      ``m * x``),
+    * a *capacity drop* to a fraction ``c`` of the original capacity also
+      stretches the argument (``stretch = 1 / c`` -- for BPR latencies this is
+      exactly a capacity rescale, since BPR depends on flow only through
+      ``flow / capacity``),
+    * a *coefficient* multiplier scales the latency value (``gain``),
+    * a *closure* adds a prohibitive constant (``offset``).
+
+    The identity modulation (``gain = stretch = 1``, ``offset = 0``) is
+    float-transparent: ``1.0 * v`` and ``v + 0.0`` reproduce ``v`` bit for bit
+    for the non-negative latency values this library produces, so wrapping
+    unaffected batch rows (to keep a :class:`LatencyStack` homogeneous) never
+    perturbs their trajectories.
+    """
+
+    def __init__(self, base: LatencyFunction, gain: float = 1.0, stretch: float = 1.0, offset: float = 0.0):
+        if gain < 0 or stretch <= 0 or offset < 0:
+            raise ValueError(
+                "modulation requires gain >= 0, stretch > 0 and offset >= 0"
+            )
+        self.base = base
+        self.gain = float(gain)
+        self.stretch = float(stretch)
+        self.offset = float(offset)
+
+    def value(self, x: float) -> float:
+        return self.gain * self.base.value(self.stretch * x) + self.offset
+
+    def derivative(self, x: float) -> float:
+        return self.gain * self.stretch * self.base.derivative(self.stretch * x)
+
+    def integral(self, x: float) -> float:
+        return (self.gain / self.stretch) * self.base.integral(self.stretch * x) + self.offset * x
+
+    def max_slope(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self.gain * self.stretch * self.base.max_slope(
+            self.stretch * lo, self.stretch * hi
+        )
+
+    def validate(self, samples: int = 32) -> None:
+        # A stretch > 1 evaluates the base beyond [0, 1]; the base classes in
+        # this library are monotone on all of [0, inf), so spot-check the
+        # stretched range directly instead of the unit interval.
+        previous = None
+        for i in range(samples + 1):
+            x = i / samples
+            y = self.value(x)
+            if y < -1e-12:
+                raise ValueError(f"{self!r} is negative at {x}: {y}")
+            if previous is not None and y < previous - 1e-9:
+                raise ValueError(f"{self!r} is decreasing near {x}")
+            previous = y
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return self.gain * self.base.value_array(self.stretch * np.asarray(x, dtype=float)) + self.offset
+
+    @classmethod
+    def stacked_evaluator(cls, functions):
+        gains = np.array([f.gain for f in functions])
+        stretches = np.array([f.stretch for f in functions])
+        offsets = np.array([f.offset for f in functions])
+        base_stack = LatencyStack([f.base for f in functions])
+
+        def evaluate(x, rows):
+            x = np.asarray(x, dtype=float)
+            return gains[rows] * base_stack.values(stretches[rows] * x, rows) + offsets[rows]
+
+        return evaluate
+
+    def __repr__(self) -> str:
+        return (
+            f"ModulatedLatency({self.base!r}, gain={self.gain}, "
+            f"stretch={self.stretch}, offset={self.offset})"
+        )
 
 
 class SumLatency(LatencyFunction):

@@ -208,7 +208,11 @@ class WardropNetwork:
         of this network -- nothing is re-enumerated and no ``networkx`` graph
         is built -- only the latency lookup of the overridden edges changes.
         Keys may be edge triples ``(u, v, key)`` or integer positions into
-        :attr:`edges`.  Replacement functions are spot-checked with
+        :attr:`edges`; off-path graph edges may be overridden too (they do
+        not enter path evaluation, but oracle-driven consumers -- column
+        generation, the edge-flow solver, scenario incidents on closed
+        detour links -- read them through :meth:`latency_function`).
+        Replacement functions are spot-checked with
         :meth:`~repro.wardrop.latency.LatencyFunction.validate`.
 
         This is the constructor behind
@@ -219,7 +223,7 @@ class WardropNetwork:
         mapping: Dict[EdgeKey, LatencyFunction] = {}
         for key, function in overrides.items():
             edge = self._edges[key] if isinstance(key, (int, np.integer)) else key
-            if edge not in self._edge_index:
+            if edge not in self._edge_index and not self.graph.has_edge(*edge):
                 raise ValueError(f"unknown edge {edge!r}")
             if not isinstance(function, LatencyFunction):
                 raise ValueError(f"override for edge {edge!r} is not a LatencyFunction")

@@ -1,0 +1,159 @@
+"""Shortest-path oracle backends: scipy/python parity and auto-selection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.instances import braess_network, get_instance
+from repro.instances.tntp import sioux_falls_network
+from repro.largescale.incidence import have_scipy
+from repro.largescale.shortest import SCIPY_BACKEND_MIN_EDGES, ShortestPathOracle
+from repro.wardrop.commodity import Commodity
+from repro.wardrop.latency import AffineLatency, ConstantLatency
+from repro.wardrop.network import LATENCY_ATTR
+
+requires_scipy = pytest.mark.skipif(not have_scipy(), reason="scipy not installed")
+
+
+def build_oracles(network, backend_pair=("python", "scipy")):
+    kwargs = dict(first_thru_node=network.graph.graph.get("first_thru_node"))
+    return tuple(
+        ShortestPathOracle(network.graph, network.commodities, backend=backend, **kwargs)
+        for backend in backend_pair
+    )
+
+
+@requires_scipy
+class TestSiouxFallsParity:
+    """The satellite's parity contract on the bundled road instance."""
+
+    def setup_method(self):
+        self.network = sioux_falls_network()
+        self.python, self.scipy = build_oracles(self.network)
+
+    def cost_vectors(self):
+        free_flow = self.python.free_flow_costs(self.network)
+        rng = np.random.default_rng(7)
+        congested = self.python.latency_costs(
+            self.network, rng.random(self.python.num_edges) * 0.02
+        )
+        return {"free-flow": free_flow, "congested": congested}
+
+    def test_auto_selects_scipy_at_road_size(self):
+        auto = ShortestPathOracle(
+            self.network.graph,
+            self.network.commodities,
+            first_thru_node=self.network.graph.graph.get("first_thru_node"),
+        )
+        assert auto.backend == "scipy"
+        assert self.network.num_edges >= SCIPY_BACKEND_MIN_EDGES
+
+    def test_commodity_path_costs_agree(self):
+        for label, costs in self.cost_vectors().items():
+            paths_py = self.python.shortest_commodity_paths(costs)
+            paths_sp = self.scipy.shortest_commodity_paths(costs)
+            for i, (a, b) in enumerate(zip(paths_py, paths_sp)):
+                cost_a = sum(costs[self.python.edge_index[e]] for e in a.edges)
+                cost_b = sum(costs[self.scipy.edge_index[e]] for e in b.edges)
+                # tie-breaking may pick different shortest paths, but the
+                # costs must agree to floating-point accumulation accuracy
+                assert cost_a == pytest.approx(cost_b, abs=1e-9), (label, i)
+
+    def test_all_or_nothing_sptt_agrees(self):
+        for label, costs in self.cost_vectors().items():
+            load_py = self.python.all_or_nothing(costs)
+            load_sp = self.scipy.all_or_nothing(costs)
+            assert load_py.sptt == pytest.approx(load_sp.sptt, rel=1e-12), label
+            # both loadings route the full demand
+            assert load_py.edge_flows.sum() > 0
+            assert load_sp.edge_flows.sum() > 0
+
+    def test_single_pair_distance_agrees(self):
+        costs = self.python.free_flow_costs(self.network)
+        commodity = self.network.commodities[0]
+        _, dist_py = self.python.shortest_path(commodity.source, commodity.sink, costs)
+        _, dist_sp = self.scipy.shortest_path(commodity.source, commodity.sink, costs)
+        assert dist_py == pytest.approx(dist_sp, abs=1e-12)
+
+
+@requires_scipy
+class TestCentroidSemantics:
+    """First-thru-node blocking must match the Python expansion rule."""
+
+    def build(self):
+        # Nodes 0 and 3 are centroids (first_thru_node=4 blocks 0..3 as
+        # through nodes); the cheap route 0 -> 3 -> 4 must be forbidden
+        # because it passes through centroid 3.
+        graph = nx.MultiDiGraph()
+        cheap = ConstantLatency(1.0)
+        dear = ConstantLatency(10.0)
+        graph.add_edge(0, 3, **{LATENCY_ATTR: cheap})
+        graph.add_edge(3, 4, **{LATENCY_ATTR: cheap})
+        graph.add_edge(0, 5, **{LATENCY_ATTR: dear})
+        graph.add_edge(5, 4, **{LATENCY_ATTR: dear})
+        commodities = [Commodity(0, 4, 1.0)]
+        return graph, commodities
+
+    @pytest.mark.parametrize("backend", ["python", "scipy"])
+    def test_centroid_is_never_passed_through(self, backend):
+        graph, commodities = self.build()
+        oracle = ShortestPathOracle(
+            graph, commodities, first_thru_node=4, backend=backend
+        )
+        costs = oracle.free_flow_costs()
+        path, cost = oracle.shortest_path(0, 4, costs)
+        assert cost == pytest.approx(20.0)
+        assert all(edge[0] != 3 for edge in path)
+
+    @pytest.mark.parametrize("backend", ["python", "scipy"])
+    def test_centroid_source_may_leave(self, backend):
+        graph, commodities = self.build()
+        commodities = [Commodity(3, 4, 1.0)]
+        oracle = ShortestPathOracle(
+            graph, commodities, first_thru_node=4, backend=backend
+        )
+        _, cost = oracle.shortest_path(3, 4, oracle.free_flow_costs())
+        assert cost == pytest.approx(1.0)
+
+
+class TestBackendSelection:
+    def test_small_instances_stay_python(self):
+        network = braess_network()
+        oracle = ShortestPathOracle(network.graph, network.commodities)
+        assert oracle.backend == "python"
+
+    def test_parallel_edges_force_python(self):
+        network = get_instance("two-links")  # two parallel s->t edges
+        oracle = ShortestPathOracle(network.graph, network.commodities)
+        assert oracle.backend == "python"
+        if have_scipy():
+            with pytest.raises(ValueError, match="parallel"):
+                ShortestPathOracle(
+                    network.graph, network.commodities, backend="scipy"
+                )
+
+    def test_unknown_backend_rejected(self):
+        network = braess_network()
+        with pytest.raises(ValueError, match="backend"):
+            ShortestPathOracle(network.graph, network.commodities, backend="gpu")
+
+    @requires_scipy
+    def test_forced_scipy_on_small_graph(self):
+        # Forcing scipy below the auto threshold still answers correctly.
+        graph = nx.MultiDiGraph()
+        rng = np.random.default_rng(3)
+        for u in range(6):
+            for v in range(6):
+                if u != v and rng.random() < 0.6:
+                    graph.add_edge(
+                        u, v, **{LATENCY_ATTR: AffineLatency(rng.random(), 0.1 + rng.random())}
+                    )
+        commodities = [Commodity(0, 5, 1.0), Commodity(1, 4, 1.0)]
+        python, scipy_oracle = (
+            ShortestPathOracle(graph, commodities, backend="python"),
+            ShortestPathOracle(graph, commodities, backend="scipy"),
+        )
+        costs = python.free_flow_costs()
+        load_py = python.all_or_nothing(costs)
+        load_sp = scipy_oracle.all_or_nothing(costs)
+        assert load_py.sptt == pytest.approx(load_sp.sptt, rel=1e-12)

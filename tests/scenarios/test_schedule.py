@@ -1,0 +1,111 @@
+"""Schedules: profile semantics, breakpoints and the at/at_batch contract."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ConstantSchedule,
+    CoefficientSchedule,
+    DemandSchedule,
+    PeriodicSchedule,
+    PiecewiseConstantSchedule,
+    PiecewiseLinearSchedule,
+    peak_schedule,
+)
+
+GRID = np.linspace(0.0, 3.0, 61)
+
+
+class TestPiecewiseConstant:
+    def test_step_values(self):
+        schedule = PiecewiseConstantSchedule([1.0, 2.0], [1.0, 1.5, 0.5])
+        assert schedule.at(0.0) == 1.0
+        assert schedule.at(0.999) == 1.0
+        assert schedule.at(1.0) == 1.5  # steps are left-closed
+        assert schedule.at(1.999) == 1.5
+        assert schedule.at(2.0) == 0.5
+        assert schedule.at(10.0) == 0.5
+
+    def test_breakpoints_exclude_interval_start(self):
+        schedule = PiecewiseConstantSchedule([1.0, 2.0], [1.0, 1.5, 0.5])
+        assert schedule.breakpoints(0.0, 3.0) == [1.0, 2.0]
+        assert schedule.breakpoints(1.0, 3.0) == [2.0]
+        assert schedule.breakpoints(2.5, 3.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantSchedule([1.0, 1.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            PiecewiseConstantSchedule([1.0], [1.0])
+        with pytest.raises(ValueError):
+            PiecewiseConstantSchedule([1.0], [1.0, -0.5])
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_and_clamps(self):
+        schedule = PiecewiseLinearSchedule([1.0, 2.0], [1.0, 2.0])
+        assert schedule.at(0.0) == 1.0  # clamped left
+        assert schedule.at(1.5) == pytest.approx(1.5)
+        assert schedule.at(3.0) == 2.0  # clamped right
+
+    def test_constant_detection(self):
+        assert PiecewiseLinearSchedule([0.0, 1.0], [2.0, 2.0]).is_constant()
+        assert not PiecewiseLinearSchedule([0.0, 1.0], [2.0, 3.0]).is_constant()
+
+
+class TestPeriodic:
+    def test_wraps_profile(self):
+        profile = PiecewiseConstantSchedule([0.5], [1.0, 2.0])
+        schedule = PeriodicSchedule(profile, period=1.0)
+        assert schedule.at(0.25) == 1.0
+        assert schedule.at(0.75) == 2.0
+        assert schedule.at(1.25) == 1.0
+        assert schedule.at(1.75) == 2.0
+
+    def test_breakpoints_tile_across_cycles(self):
+        profile = PiecewiseConstantSchedule([0.5], [1.0, 2.0])
+        schedule = PeriodicSchedule(profile, period=1.0)
+        assert schedule.breakpoints(0.0, 2.0) == [0.5, 1.0, 1.5]
+
+
+class TestPeak:
+    def test_trapezoid_shape(self):
+        schedule = peak_schedule(base=1.0, peak=1.5, start=5.0, end=15.0, ramp=5.0)
+        assert schedule.at(0.0) == 1.0
+        assert schedule.at(7.5) == pytest.approx(1.25)
+        assert schedule.at(12.0) == 1.5
+        assert schedule.at(17.5) == pytest.approx(1.25)
+        assert schedule.at(25.0) == 1.0
+
+
+class TestBatchContract:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            ConstantSchedule(1.3),
+            PiecewiseConstantSchedule([0.7, 1.9], [1.0, 1.4, 0.8]),
+            PiecewiseLinearSchedule([0.0, 1.0, 2.5], [1.0, 2.0, 0.5]),
+            PeriodicSchedule(PiecewiseLinearSchedule([0.0, 0.5, 1.0], [1.0, 2.0, 1.0]), 1.0),
+            peak_schedule(1.0, 1.6, 0.5, 1.5, 0.25),
+        ],
+    )
+    def test_at_equals_at_batch(self, schedule):
+        batch = schedule.at_batch(GRID)
+        scalars = np.array([schedule.at(t) for t in GRID])
+        # `at` delegates to `at_batch`, so the agreement is bitwise.
+        np.testing.assert_array_equal(batch, scalars)
+
+
+class TestWrappers:
+    def test_demand_schedule_rejects_zero(self):
+        demand = DemandSchedule(PiecewiseConstantSchedule([1.0], [1.0, 0.0]))
+        assert demand.multiplier_at(0.5) == 1.0
+        with pytest.raises(ValueError):
+            demand.multiplier_at(1.5)
+
+    def test_coefficient_schedule_scopes_edges(self):
+        everywhere = CoefficientSchedule(ConstantSchedule(2.0))
+        assert everywhere.edges is None
+        scoped = CoefficientSchedule(ConstantSchedule(2.0), edges=[("a", "b", 0)])
+        assert scoped.edges == [("a", "b", 0)]
+        assert scoped.gain_at(0.0) == 2.0

@@ -1,0 +1,134 @@
+"""Equilibrium tracking: per-interval ground truth and the three metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import replicator_policy, simulate, uniform_policy
+from repro.instances import braess_network, pigou_network
+from repro.scenarios import (
+    LinkIncident,
+    PiecewiseConstantSchedule,
+    Scenario,
+    interval_equilibria,
+    time_to_reequilibrate,
+    tracking_error,
+    tracking_regret,
+)
+
+
+def demand_step_scenario():
+    return Scenario(demand=PiecewiseConstantSchedule([4.0], [1.0, 1.8]))
+
+
+class TestIntervalEquilibria:
+    def test_one_equilibrium_per_interval(self):
+        network = pigou_network(degree=1)
+        track = interval_equilibria(network, demand_step_scenario(), horizon=8.0)
+        assert track.space == "path"
+        np.testing.assert_array_equal(track.times, [0.0, 4.0])
+        assert len(track.equilibria) == 2
+        assert all(entry.converged for entry in track.equilibria)
+        # Pigou with l(x) = x vs constant 1: equilibrium puts everything on
+        # the nonlinear link; stretched demand raises its latency, so the
+        # post-step equilibrium shifts mass to the constant link.
+        before, after = track.equilibria
+        assert not np.allclose(before.flow_values, after.flow_values)
+        assert track.equilibrium_at(3.9) is before
+        assert track.equilibrium_at(4.0) is after
+
+    def test_cache_shared_across_rows(self):
+        network = pigou_network(degree=1)
+        cache = {}
+        scenarios = [
+            Scenario(demand=PiecewiseConstantSchedule([t], [1.0, 1.8]))
+            for t in (2.0, 3.0, 5.0)
+        ]
+        solves = []
+        for scenario in scenarios:
+            track = interval_equilibria(network, scenario, horizon=8.0, cache=cache)
+            solves.append(track.solves)
+        # Three rows revisit the same two environment states: two solves for
+        # the first row, zero fresh solves afterwards.
+        assert solves == [2, 0, 0]
+
+    def test_edge_space_on_request(self):
+        network = braess_network()
+        track = interval_equilibria(
+            network, demand_step_scenario(), horizon=8.0, space="edge", tolerance=1e-5
+        )
+        assert track.space == "edge"
+        assert track.oracle is not None
+        for entry in track.equilibria:
+            assert entry.edge_flows is not None
+            assert entry.flow_values is None
+
+
+class TestMetrics:
+    def test_tracking_error_spikes_then_recovers(self):
+        network = pigou_network(degree=1)
+        policy = uniform_policy(network)
+        # interior equilibria on both sides of the step: (1/6, 5/6) -> (4/9, 5/9)
+        scenario = Scenario(demand=PiecewiseConstantSchedule([6.0], [1.2, 1.8]))
+        trajectory = simulate(
+            network, policy, update_period=0.1, horizon=12.0,
+            scenario=scenario, steps_per_phase=20,
+        )
+        track = interval_equilibria(network, scenario, horizon=12.0)
+        times, errors = tracking_error(trajectory, track)
+        assert times.shape == errors.shape
+        before = errors[(times > 5.5) & (times < 6.0)]
+        spike = errors[(times >= 6.0) & (times < 6.3)]
+        tail = errors[times > 11.0]
+        # approaching the first target, jolted at the step, re-converged after
+        assert before.max() < 0.25
+        assert spike.max() > 0.3
+        assert tail.max() < 0.05
+        recovery = time_to_reequilibrate(times, errors, 6.0, tolerance=0.2)
+        assert 0.0 < recovery < 4.0
+        # an impossible tolerance never recovers
+        assert time_to_reequilibrate(times, errors, 6.0, tolerance=-1.0) == float("inf")
+
+    def test_tracking_regret_is_positive_and_bounded(self):
+        network = pigou_network(degree=1)
+        policy = uniform_policy(network)
+        scenario = demand_step_scenario()
+        trajectory = simulate(
+            network, policy, update_period=0.2, horizon=8.0,
+            scenario=scenario, steps_per_phase=10,
+        )
+        track = interval_equilibria(network, scenario, horizon=8.0)
+        regret = tracking_regret(trajectory, track)
+        # The equilibrium minimises the Beckmann potential, so the lagging
+        # dynamics accumulate a strictly positive (but modest) potential gap.
+        assert 0.0 < regret < 2.0
+
+    def test_regret_vanishes_on_the_equilibrium(self):
+        network = pigou_network(degree=1)
+        scenario = demand_step_scenario()
+        track = interval_equilibria(network, scenario, horizon=8.0)
+        # A "trajectory" that sits on the instantaneous equilibrium of every
+        # interval accrues (essentially) zero regret.
+        from repro.core.trajectory import Trajectory
+        from repro.wardrop.flow import FlowVector
+
+        trajectory = Trajectory(network=network, policy_name="oracle", update_period=0.5)
+        for t in np.arange(0.0, 8.01, 0.5):
+            reference = track.equilibrium_at(float(t))
+            trajectory.record(
+                float(t), FlowVector(network, reference.flow_values, validate=False), 0
+            )
+        assert abs(tracking_regret(trajectory, track)) < 1e-6
+
+    def test_incident_track_on_braess(self):
+        network = braess_network()
+        scenario = Scenario(
+            incidents=[
+                LinkIncident(("a", "b", 0), 3.0, 6.0, capacity_factor=0.0, closure_penalty=10.0)
+            ]
+        )
+        track = interval_equilibria(network, scenario, horizon=10.0)
+        np.testing.assert_array_equal(track.times, [0.0, 3.0, 6.0])
+        # closing the shortcut lowers the equilibrium latency from 2 to 1.5
+        assert track.equilibria[0].average_latency == pytest.approx(2.0, abs=1e-3)
+        assert track.equilibria[1].average_latency == pytest.approx(1.5, abs=1e-3)
+        assert track.equilibria[2].average_latency == pytest.approx(2.0, abs=1e-3)

@@ -41,6 +41,56 @@ class TestCommands:
         assert "Wardrop equilibrium" in output
         assert "duality gap" in output
 
+    def test_solve_honours_explicit_zero_tolerance(self, capsys):
+        # --tolerance 0 means "run to the iteration cap (or an exact gap)",
+        # not "silently substitute the default tolerance".
+        assert main(["solve", "parallel-8-affine", "--tolerance", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "iterations = 2000" in output
+        assert "converged = False" in output
+
+    def test_solve_edge_flow_reports_raw_tstt(self, capsys):
+        assert main(["solve", "sioux-falls-mini", "--edge-flow"]) == 0
+        output = capsys.readouterr().out
+        assert "Edge-flow equilibrium" in output
+        assert "TSTT (raw TNTP units)" in output
+        assert "relative duality gap" in output
+        # raw TSTT must be in vehicle-minutes territory, not normalised units
+        tstt_line = next(line for line in output.splitlines() if "TSTT (raw" in line)
+        assert float(tstt_line.split("=")[1]) > 1e4
+
+    def test_simulate_with_scenario(self, capsys):
+        assert main([
+            "simulate", "braess", "--policy", "uniform", "--period", "0.25",
+            "--horizon", "3", "--scenario", "morning-peak",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "scenario: morning-peak" in output
+
+    def test_simulate_rejects_unknown_scenario(self, capsys):
+        assert main([
+            "simulate", "braess", "--period", "0.25", "--scenario", "nope",
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_simulate_rejects_mismatched_scenario(self, capsys):
+        # braess-closure needs the Braess shortcut edge
+        assert main([
+            "simulate", "pigou-linear", "--period", "0.25",
+            "--scenario", "braess-closure",
+        ]) == 2
+        assert "braess" in capsys.readouterr().err
+
+    def test_sweep_with_scenario_echoes_column(self, capsys):
+        assert main([
+            "sweep", "braess", "--policy", "uniform", "--periods", "0.2,0.4",
+            "--horizon", "2", "--steps-per-phase", "10",
+            "--scenario", "morning-peak",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "scenario" in output
+        assert "morning-peak" in output
+
     def test_simulate_auto_period(self, capsys):
         assert main(["simulate", "two-links", "--policy", "replicator",
                      "--horizon", "10"]) == 0

@@ -85,17 +85,22 @@ class TestLatencyStack:
         assert not stack.vectorised
         np.testing.assert_allclose(stack.values(np.array([0.4, 0.4])), [1.0, 0.8])
 
-    def test_mismatched_breakpoints_fall_back(self):
+    def test_mismatched_breakpoints_vectorise_via_padding(self):
+        # Per-row breakpoint x-coordinates (and even counts) pad to a common
+        # width instead of falling back to the row loop; values stay
+        # bit-identical to the scalar evaluation.
         stack = LatencyStack(
             [
                 PiecewiseLinearLatency([(0.0, 0.0), (0.4, 0.1), (1.0, 2.0)]),
                 PiecewiseLinearLatency([(0.0, 0.0), (0.6, 0.1), (1.0, 2.0)]),
+                PiecewiseLinearLatency([(0.0, 0.0), (0.2, 0.05), (0.7, 0.4), (1.0, 2.0)]),
             ]
         )
-        assert not stack.vectorised
-        flows = np.array([0.5, 0.5])
-        expected = np.array([f.value(0.5) for f in stack.functions])
-        np.testing.assert_allclose(stack.values(flows), expected, rtol=0, atol=0)
+        assert stack.vectorised
+        for x in (0.0, 0.1, 0.2, 0.4, 0.5, 0.6, 0.65, 0.7, 0.95, 1.0):
+            flows = np.full(3, x)
+            expected = np.array([f.value(x) for f in stack.functions])
+            np.testing.assert_allclose(stack.values(flows), expected, rtol=0, atol=0)
 
     def test_mismatched_polynomial_lengths_fall_back(self):
         stack = LatencyStack([PolynomialLatency([1.0, 2.0]), PolynomialLatency([1.0, 2.0, 3.0])])
