@@ -17,8 +17,6 @@ of the replicas the scalar loop re-runs.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
 
@@ -26,6 +24,7 @@ from repro.analysis import fluid_limit_deviation, print_table
 from repro.batch import simulate_agent_batch
 from repro.core import AgentBasedSimulator, AgentSimulationConfig, replicator_policy, simulate
 from repro.instances import lopsided_flow, two_link_network
+from repro.telemetry.bench import bench_timer
 
 POPULATIONS = [100, 1000, 10000, 100000]
 REPLICAS = 4
@@ -54,17 +53,20 @@ def test_finite_agents_approach_fluid_limit(report_header):
 
     # The whole n-sweep (4 decades x 4 replicas) is one batched call.
     grid = [(n, replica) for n in POPULATIONS for replica in range(REPLICAS)]
-    begin = time.perf_counter()
-    result = simulate_agent_batch(
-        network,
-        policy,
-        num_agents=[n for n, _ in grid],
-        update_periods=period,
-        horizons=HORIZON,
-        initial_flows=start,
-        seeds=[7 * n + replica for n, replica in grid],
-    )
-    seconds = time.perf_counter() - begin
+    with bench_timer(
+        "bench_fluid_limit", "E9 population sweep",
+        engine="agents-batch", instance="two-links", cases=len(grid),
+    ) as timer:
+        result = simulate_agent_batch(
+            network,
+            policy,
+            num_agents=[n for n, _ in grid],
+            update_periods=period,
+            horizons=HORIZON,
+            initial_flows=start,
+            seeds=[7 * n + replica for n, replica in grid],
+        )
+    seconds = timer.seconds
 
     rows = []
     means = []
@@ -104,32 +106,40 @@ def test_batched_agent_throughput_vs_scalar_loop(report_header):
     # Scalar baseline: the per-replica loop, timed on a subsample (every
     # replica has the same configuration, so the subsample rate is an
     # unbiased estimate of the full loop's rate).
-    begin = time.perf_counter()
     scalar_runs = []
-    for row in range(SCALAR_SAMPLE):
-        config = AgentSimulationConfig(
-            num_agents=THROUGHPUT_POPULATION,
-            update_period=period,
-            horizon=THROUGHPUT_HORIZON,
-            seed=seeds[row],
-        )
-        simulator = AgentBasedSimulator(network, policy, config)
-        scalar_runs.append((simulator.run(start), simulator.final_assignment))
-    scalar_seconds = time.perf_counter() - begin
-    scalar_rate = SCALAR_SAMPLE / scalar_seconds
+    with bench_timer(
+        "bench_fluid_limit", "E9b scalar loop",
+        engine="agents", instance="two-links", cases=SCALAR_SAMPLE,
+        population=THROUGHPUT_POPULATION,
+    ) as scalar_timer:
+        for row in range(SCALAR_SAMPLE):
+            config = AgentSimulationConfig(
+                num_agents=THROUGHPUT_POPULATION,
+                update_period=period,
+                horizon=THROUGHPUT_HORIZON,
+                seed=seeds[row],
+            )
+            simulator = AgentBasedSimulator(network, policy, config)
+            scalar_runs.append((simulator.run(start), simulator.final_assignment))
+    scalar_seconds = scalar_timer.seconds
+    scalar_rate = scalar_timer.rate
 
-    begin = time.perf_counter()
-    result = simulate_agent_batch(
-        network,
-        policy,
-        num_agents=[THROUGHPUT_POPULATION] * THROUGHPUT_BATCH,
-        update_periods=period,
-        horizons=THROUGHPUT_HORIZON,
-        initial_flows=start,
-        seeds=seeds,
-    )
-    batch_seconds = time.perf_counter() - begin
-    batch_rate = THROUGHPUT_BATCH / batch_seconds
+    with bench_timer(
+        "bench_fluid_limit", "E9b replica batch",
+        engine="agents-batch", instance="two-links", cases=THROUGHPUT_BATCH,
+        population=THROUGHPUT_POPULATION,
+    ) as batch_timer:
+        result = simulate_agent_batch(
+            network,
+            policy,
+            num_agents=[THROUGHPUT_POPULATION] * THROUGHPUT_BATCH,
+            update_periods=period,
+            horizons=THROUGHPUT_HORIZON,
+            initial_flows=start,
+            seeds=seeds,
+        )
+    batch_seconds = batch_timer.seconds
+    batch_rate = batch_timer.rate
 
     speedup = batch_rate / scalar_rate
     print_table(

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 import numpy as np
@@ -44,6 +43,8 @@ from repro.largescale import (
     simulate_with_column_generation,
 )
 from repro.solvers import relative_duality_gap, solve_edge_flow_equilibrium
+from repro.telemetry import telemetry_session
+from repro.telemetry.bench import bench_timer
 
 POLICY_NAMES = ("uniform", "replicator")
 GAP_TARGET = 0.03
@@ -90,17 +91,22 @@ def run_benchmark(smoke: bool = False) -> List[dict]:
         periods = [0.05, 0.1]
         horizon, steps_per_phase = 16.0, 10
         label = "sioux-falls-mini (40 OD pairs)"
+        instance = "sioux-falls-mini"
     else:
         build_instance = sioux_falls_network
         periods = [0.02, 0.05]
         horizon, steps_per_phase = 2.0, 10
         label = "sioux-falls (528 OD pairs)"
+        instance = "sioux-falls"
     network = build_instance()
     oracle = ShortestPathOracle.for_network(network)
 
-    begin = time.perf_counter()
-    reference = solve_edge_flow_equilibrium(network, tolerance=1e-4, oracle=oracle)
-    solver_seconds = time.perf_counter() - begin
+    with bench_timer(
+        "bench_large_network", "edge-FW reference",
+        engine="edge-fw", instance=instance,
+    ) as solver_timer:
+        reference = solve_edge_flow_equilibrium(network, tolerance=1e-4, oracle=oracle)
+    solver_seconds = solver_timer.seconds
 
     alpha = 1.0 / (2.0 * float(np.max(oracle.free_flow_costs(network))))
     builders = policy_builders(alpha)
@@ -112,16 +118,19 @@ def run_benchmark(smoke: bool = False) -> List[dict]:
             def gap_reached(_time, flow):
                 return final_relative_gap(flow.network, oracle, flow) <= GAP_TARGET
 
-            begin = time.perf_counter()
-            result = simulate_with_column_generation(
-                ActivePathSet.from_network(build_instance()),
-                build_policy,
-                update_period=period,
-                horizon=horizon,
-                steps_per_phase=steps_per_phase,
-                stop_when=gap_reached,
-            )
-            seconds = time.perf_counter() - begin
+            with bench_timer(
+                "bench_large_network", f"CG {policy_name} T={period:g}",
+                engine="column-generation", instance=instance,
+            ) as cg_timer:
+                result = simulate_with_column_generation(
+                    ActivePathSet.from_network(build_instance()),
+                    build_policy,
+                    update_period=period,
+                    horizon=horizon,
+                    steps_per_phase=steps_per_phase,
+                    stop_when=gap_reached,
+                )
+            seconds = cg_timer.seconds
             trajectory = result.trajectory
             gap = final_relative_gap(result.network, oracle, result.final_flow)
             rows.append(
@@ -181,8 +190,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run the fast 40-OD-pair variant (CI-friendly, ~30s)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry session and write its JSONL trace here",
+    )
     args = parser.parse_args(argv)
-    run_benchmark(smoke=args.smoke)
+    if args.trace is not None:
+        with telemetry_session(trace_path=args.trace):
+            run_benchmark(smoke=args.smoke)
+        print(f"wrote trace {args.trace}")
+    else:
+        run_benchmark(smoke=args.smoke)
     return 0
 
 

@@ -36,12 +36,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro.analysis import print_table
+from repro.telemetry import telemetry_session
+from repro.telemetry.bench import bench_timer
 from repro.batch.engine import BatchConfig, BatchSimulator
 from repro.core import ReroutingPolicy, ScaledLinearMigration, UniformSampling, simulate
 from repro.instances import sioux_falls_network
@@ -130,19 +131,25 @@ def run_benchmark(smoke: bool = False, scalar_rows: Optional[int] = None) -> dic
         horizons=horizon,
         steps_per_phase=steps,
     )
-    begin = time.perf_counter()
-    result = BatchSimulator(network, policy, config, scenarios=scenarios).run()
-    batched_seconds = time.perf_counter() - begin
+    with bench_timer(
+        "bench_tracking", "E11 scenario ensemble",
+        engine="fluid-batch", instance="sioux-falls-incident", cases=batch,
+    ) as batched_timer:
+        result = BatchSimulator(network, policy, config, scenarios=scenarios).run()
+    batched_seconds = batched_timer.seconds
 
-    begin = time.perf_counter()
     scalar_flows = []
-    for row in range(scalar_rows):
-        trajectory = simulate(
-            network, policy, update_period=period, horizon=horizon,
-            steps_per_phase=steps, scenario=scenarios[row],
-        )
-        scalar_flows.append(np.array([p.flow.values() for p in trajectory.points]))
-    scalar_seconds = time.perf_counter() - begin
+    with bench_timer(
+        "bench_tracking", "E11 scalar loop",
+        engine="fluid-scalar", instance="sioux-falls-incident", cases=scalar_rows,
+    ) as scalar_timer:
+        for row in range(scalar_rows):
+            trajectory = simulate(
+                network, policy, update_period=period, horizon=horizon,
+                steps_per_phase=steps, scenario=scenarios[row],
+            )
+            scalar_flows.append(np.array([p.flow.values() for p in trajectory.points]))
+    scalar_seconds = scalar_timer.seconds
     # Normalise the scalar timing to the full batch when only a subset ran.
     scalar_seconds_full = scalar_seconds * batch / scalar_rows
 
@@ -154,39 +161,42 @@ def run_benchmark(smoke: bool = False, scalar_rows: Optional[int] = None) -> dic
 
     # Tracking: two distinct environment states across all rows -> the shared
     # cache solves exactly two edge-flow equilibria.
-    begin = time.perf_counter()
     cache: dict = {}
     rows = []
-    for row in (0, batch // 2, batch - 1):
-        scenario = scenarios[row]
-        track = interval_equilibria(
-            network, scenario, horizon=horizon, space="edge",
-            tolerance=1e-3, oracle=oracle, cache=cache,
-        )
-        trajectory = result.trajectory(row)
-        times, errors = tracking_error(trajectory, track)
-        incident_start = float(starts[row])
-        incident_end = incident_start + duration
-        during = errors[(times >= incident_start) & (times < incident_end)]
-        after = errors[(times >= incident_end) & (times < incident_end + 1.0)]
-        err_onset = float(errors[times < incident_start][-1])
-        err_peak = float(during.max()) if len(during) else float("nan")
-        jolt = float(after.max()) if len(after) else float("nan")
-        rows.append(
-            {
-                "row": row,
-                "incident": f"[{incident_start:g}, {incident_end:g})",
-                "err_onset": err_onset,
-                "err_peak": err_peak,
-                "jolt_at_clear": jolt,
-                "err_final": float(errors[-1]),
-                "reequilibrate": time_to_reequilibrate(
-                    times, errors, incident_end, 1.5 * err_onset
-                ),
-                "regret": tracking_regret(trajectory, track),
-            }
-        )
-    tracking_seconds = time.perf_counter() - begin
+    with bench_timer(
+        "bench_tracking", "E11 ground truth",
+        engine="edge-fw", instance="sioux-falls-incident", cases=3,
+    ) as tracking_timer:
+        for row in (0, batch // 2, batch - 1):
+            scenario = scenarios[row]
+            track = interval_equilibria(
+                network, scenario, horizon=horizon, space="edge",
+                tolerance=1e-3, oracle=oracle, cache=cache,
+            )
+            trajectory = result.trajectory(row)
+            times, errors = tracking_error(trajectory, track)
+            incident_start = float(starts[row])
+            incident_end = incident_start + duration
+            during = errors[(times >= incident_start) & (times < incident_end)]
+            after = errors[(times >= incident_end) & (times < incident_end + 1.0)]
+            err_onset = float(errors[times < incident_start][-1])
+            err_peak = float(during.max()) if len(during) else float("nan")
+            jolt = float(after.max()) if len(after) else float("nan")
+            rows.append(
+                {
+                    "row": row,
+                    "incident": f"[{incident_start:g}, {incident_end:g})",
+                    "err_onset": err_onset,
+                    "err_peak": err_peak,
+                    "jolt_at_clear": jolt,
+                    "err_final": float(errors[-1]),
+                    "reequilibrate": time_to_reequilibrate(
+                        times, errors, incident_end, 1.5 * err_onset
+                    ),
+                    "regret": tracking_regret(trajectory, track),
+                }
+            )
+    tracking_seconds = tracking_timer.seconds
 
     print_table(
         rows,
@@ -253,8 +263,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="measure only this many scalar counterpart rows (extrapolated)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry session and write its JSONL trace here",
+    )
     args = parser.parse_args(argv)
-    run_benchmark(smoke=args.smoke, scalar_rows=args.scalar_rows)
+    if args.trace is not None:
+        with telemetry_session(trace_path=args.trace):
+            run_benchmark(smoke=args.smoke, scalar_rows=args.scalar_rows)
+        print(f"wrote trace {args.trace}")
+    else:
+        run_benchmark(smoke=args.smoke, scalar_rows=args.scalar_rows)
     return 0
 
 

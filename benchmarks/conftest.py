@@ -4,11 +4,31 @@ Every benchmark regenerates one experiment from EXPERIMENTS.md: it runs the
 relevant sweep, prints a table with the paper-predicted quantity next to the
 measured one (captured in ``bench_output.txt``) and uses pytest-benchmark to
 time the core simulation call so that performance regressions are visible.
+
+Timing blocks go through :func:`repro.telemetry.bench.bench_timer`
+(re-exported here so both pytest runs and ``python benchmarks/bench_x.py``
+script runs share it): every timed block emits one machine-readable
+``repro-bench/1`` record, appended to the JSONL file named by the
+``REPRO_BENCH_RECORDS`` environment variable when set.  CI aggregates those
+records into the engine x instance throughput matrix via
+``repro report --bench``.
 """
 
 from __future__ import annotations
 
 import pytest
+
+# Re-exported so benches use one timing schema in both pytest and script
+# mode (`python benchmarks/bench_x.py` puts this directory on sys.path, so
+# `from conftest import bench_timer` resolves there too).
+from repro.telemetry.bench import (  # noqa: F401
+    BENCH_SCHEMA,
+    RECORDS_ENV,
+    BenchTimer,
+    bench_timer,
+    clear_records,
+    collected_records,
+)
 
 
 def pytest_configure(config):

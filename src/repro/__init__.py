@@ -18,7 +18,10 @@ units (the bulletin-board model).  This package implements the full system:
 * :mod:`repro.experiments` -- experiment plans with deterministic seeds and
   the batch/pool/serial experiment runner behind the sweeps,
 * :mod:`repro.scenarios` -- nonstationary scenarios: time-varying demand,
-  link incidents, and equilibrium-tracking metrics for moving equilibria.
+  link incidents, and equilibrium-tracking metrics for moving equilibria,
+* :mod:`repro.telemetry` -- structured tracing, the metrics registry and
+  the unified benchmark timing records (off by default; activate with
+  :func:`repro.telemetry.telemetry_session`).
 
 Quickstart::
 
@@ -33,9 +36,19 @@ Quickstart::
     print(trajectory.describe())
 """
 
-from . import analysis, batch, core, experiments, instances, scenarios, solvers, wardrop
+from . import (
+    analysis,
+    batch,
+    core,
+    experiments,
+    instances,
+    scenarios,
+    solvers,
+    telemetry,
+    wardrop,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -45,6 +58,7 @@ __all__ = [
     "instances",
     "scenarios",
     "solvers",
+    "telemetry",
     "wardrop",
     "__version__",
 ]

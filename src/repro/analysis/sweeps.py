@@ -114,6 +114,19 @@ class SweepResult:
     def column(self, name: str) -> List[object]:
         return [row.get(name) for row in self.rows]
 
+    def merge_metrics(self, metrics: Mapping[str, object], prefix: str = "tele_") -> None:
+        """Merge a flat telemetry-metrics dict into every row.
+
+        Used by the CLI's ``--metrics`` flag: the active session's
+        ``metrics.flatten()`` output lands in each row under ``prefix``-ed
+        column names, so the counters persist through :meth:`to_csv` /
+        :meth:`to_jsonl` next to the sweep's own columns.  Existing columns
+        are never overwritten.
+        """
+        for row in self.rows:
+            for key, value in metrics.items():
+                row.setdefault(prefix + key, value)
+
     def __len__(self) -> int:
         return len(self.rows)
 

@@ -44,6 +44,7 @@ from ..core.agents import (
     sampling_tables,
 )
 from ..core.trajectory import PhaseRecord, Trajectory
+from ..telemetry.runtime import get_telemetry
 from ..wardrop.family import NetworkFamily
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
@@ -299,6 +300,19 @@ class BatchAgentSimulator(BatchEnsembleBase):
         agent_row = np.repeat(np.arange(batch), populations)
         row_key_base = agent_row * num_paths
         rngs = [np.random.default_rng(int(seed)) for seed in config.seeds]
+        tele = get_telemetry()
+        run_span = tele.span(
+            "engine_run",
+            engine="agents-batch",
+            stale=config.stale,
+            rows=batch,
+            agents=total_agents,
+            paths=num_paths,
+        )
+        events_counter = tele.counter("agents_batch.events")
+        phases_counter = tele.counter("agents_batch.phases_integrated")
+        frozen_counter = tele.counter("agents_batch.rows_frozen_by_stop_when")
+        refresh_counter = tele.counter("agents_batch.bulletin_refreshes")
 
         def realised_flows(rows: Optional[np.ndarray] = None) -> np.ndarray:
             """Realised flows from the assignment, restricted to ``rows``.
@@ -350,6 +364,8 @@ class BatchAgentSimulator(BatchEnsembleBase):
 
             if config.stale and phase > 0:
                 board.post_rows(starts, flows, mask=active)
+                tele.event("bulletin_refresh", rows=len(rows))
+                refresh_counter.add(len(rows))
 
             # Per-row block draws, exactly the scalar simulator's schedule.
             counts = np.empty(len(rows), dtype=np.int64)
@@ -364,12 +380,20 @@ class BatchAgentSimulator(BatchEnsembleBase):
                 agent_chunks.append(rng.integers(population, size=count))
                 sample_chunks.append(rng.random(count))
                 migrate_chunks.append(rng.random(count))
+            phase_span = tele.span(
+                "phase",
+                index=phase,
+                active_rows=len(rows),
+                activations=int(counts.sum()),
+            )
+            events_counter.add(int(counts.sum()))
 
             if config.stale:
-                sigma, mu = self._policy_tables(
-                    board.posted_flows[rows], board.posted_path_latencies[rows], rows
-                )
-                cdf, valid = sampling_tables(sigma, layout)
+                with tele.span("field_eval", active_rows=len(rows)):
+                    sigma, mu = self._policy_tables(
+                        board.posted_flows[rows], board.posted_path_latencies[rows], rows
+                    )
+                    cdf, valid = sampling_tables(sigma, layout)
                 self._apply_stale_phase(
                     assignment,
                     offsets,
@@ -404,6 +428,7 @@ class BatchAgentSimulator(BatchEnsembleBase):
             times[rows, phase + 1] = ends[rows]
             recorded[rows, phase + 1] = flows[rows]
             num_points[rows] += 1
+            phases_counter.add(len(rows))
 
             if stop_when is not None:
                 hit = np.asarray(stop_when(ends[rows], flows[rows], rows), dtype=bool)
@@ -412,7 +437,14 @@ class BatchAgentSimulator(BatchEnsembleBase):
                         f"stop_when returned shape {hit.shape}, expected {rows.shape}"
                     )
                 stop_phases[rows[hit]] = phase
+                if hit.any():
+                    tele.event("stop_when_fired", phase=phase, rows=int(hit.sum()))
+                    frozen_counter.add(int(hit.sum()))
+            phase_span.close()
 
+        run_span.annotate(phases_integrated=int((num_points - 1).sum()))
+        run_span.close()
+        tele.counter("agents_batch.runs").add()
         labels = [
             f"{policy.label()} (n={int(populations[row])})"
             for row, policy in enumerate(self._policies)

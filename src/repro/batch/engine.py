@@ -42,6 +42,7 @@ import numpy as np
 from ..core.dynamics import batch_stepper_for
 from ..core.policy import ReroutingPolicy
 from ..core.trajectory import PhaseRecord, Trajectory
+from ..telemetry.runtime import get_telemetry
 from ..wardrop.family import NetworkFamily
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
@@ -494,6 +495,19 @@ class BatchSimulator(BatchEnsembleBase):
         flows = self._initial_flows(initial_flows)
         stepper = batch_stepper_for(config.method)
         record_every = config.record_every
+        tele = get_telemetry()
+        run_span = tele.span(
+            "engine_run",
+            engine="fluid-batch",
+            method=config.method,
+            stale=config.stale,
+            rows=batch,
+            paths=network.num_paths,
+            state_bytes=flows.nbytes,
+        )
+        phases_counter = tele.counter("batch.phases_integrated")
+        frozen_counter = tele.counter("batch.rows_frozen_by_stop_when")
+        refresh_counter = tele.counter("batch.bulletin_refreshes")
 
         # Per-row phase counts, mirroring the scalar ceil(horizon / T).
         planned_phases = np.ceil(horizons / periods).astype(int)
@@ -550,6 +564,7 @@ class BatchSimulator(BatchEnsembleBase):
                 if board is not None:
                     board.set_networks(self._phase_family)
 
+            phase_span = tele.span("phase", index=phase, active_rows=len(rows))
             if config.stale:
                 if phase > 0:
                     # Mirror the scalar board's maybe_update: floating-point
@@ -558,7 +573,10 @@ class BatchSimulator(BatchEnsembleBase):
                     due = board.needs_update(starts) & active
                     if due.any():
                         board.post_rows(starts, flows, mask=due)
-                field = self._stale_rates(board, rows)
+                        tele.event("bulletin_refresh", rows=int(due.sum()))
+                        refresh_counter.add(int(due.sum()))
+                with tele.span("field_eval", active_rows=len(rows)):
+                    field = self._stale_rates(board, rows)
             else:
                 field = self._fresh_rates(rows)
 
@@ -567,6 +585,11 @@ class BatchSimulator(BatchEnsembleBase):
             step_sizes = durations / num_steps
             state = flows[rows]
             row_starts = starts[rows]
+            integrate_span = tele.span(
+                "integrate",
+                steps=int(num_steps.max()),
+                state_bytes=state.nbytes,
+            )
             for k in range(int(num_steps.max())):
                 live = k < num_steps
                 step = np.where(live, step_sizes, 0.0)[:, None]
@@ -590,6 +613,8 @@ class BatchSimulator(BatchEnsembleBase):
                         sample_phases[mid_rows, cursors] = phase
                         num_points[mid_rows] += 1
 
+            integrate_span.close()
+
             projected = FlowVector.project_batch(network, state)
             flows[rows] = projected
             cursors = num_points[rows]
@@ -599,6 +624,7 @@ class BatchSimulator(BatchEnsembleBase):
             boundary_mask[rows, cursors] = True
             num_points[rows] += 1
             phase_counts[rows] += 1
+            phases_counter.add(len(rows))
 
             if stop_when is not None:
                 hit = np.asarray(stop_when(ends[rows], projected, rows), dtype=bool)
@@ -607,8 +633,15 @@ class BatchSimulator(BatchEnsembleBase):
                         f"stop_when returned shape {hit.shape}, expected {rows.shape}"
                     )
                 stop_phases[rows[hit]] = phase
+                if hit.any():
+                    tele.event("stop_when_fired", phase=phase, rows=int(hit.sum()))
+                    frozen_counter.add(int(hit.sum()))
+            phase_span.close()
 
         self._phase_family = None
+        run_span.annotate(phases_integrated=int(phase_counts.sum()))
+        run_span.close()
+        tele.counter("batch.runs").add()
         labels = [policy.label() for policy in self._policies]
         dense = record_every is not None
         return BatchResult(

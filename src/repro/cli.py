@@ -12,7 +12,15 @@ writing Python:
 * ``sweep``          -- run a whole update-period sweep through the batched
   experiment runner and export the result table,
 * ``oscillate``      -- reproduce the Section 3.2 best-response oscillation
-  for a chosen ``beta`` and update period.
+  for a chosen ``beta`` and update period,
+* ``report``         -- render a telemetry trace (or benchmark records with
+  ``--bench``) into per-engine timing and throughput tables.
+
+``simulate`` and ``sweep`` accept ``--trace PATH`` (write the JSONL span
+trace + metrics snapshot) and ``--metrics`` (print the metrics table;
+``sweep`` additionally merges the flattened metrics into the persisted
+rows); ``sweep --progress`` streams per-case started/finished and
+batch-fusion events to stderr as the runner works.
 
 Examples::
 
@@ -23,6 +31,9 @@ Examples::
     python -m repro.cli simulate pigou-linear --method agents --agents 5000 --period 0.1
     python -m repro.cli sweep braess --policy uniform --periods 0.05,0.1,0.2 --csv out.csv
     python -m repro.cli sweep pigou-linear,pigou-quadratic --periods 0.1,0.2 --engine batch
+    python -m repro.cli sweep sioux-falls --scenario sioux-falls-incident --trace out.jsonl
+    python -m repro.cli report out.jsonl
+    python -m repro.cli report bench-records.jsonl --bench
     python -m repro.cli oscillate --beta 4 --period 0.5
 """
 
@@ -125,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under a named nonstationary scenario (see repro.scenarios: "
         "morning-peak, braess-closure, sioux-falls-incident, ...)",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace of the run and write it to this JSONL "
+        "file (render it with `repro report PATH`)",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry metrics during the run and print them as a table",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="sweep the update period through the batched experiment runner"
@@ -179,6 +202,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-seed",
         action="store_true",
         help="add each case's deterministic seed as a 'seed' column",
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace of the whole sweep and write it to "
+        "this JSONL file (render it with `repro report PATH`)",
+    )
+    sweep.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry metrics, print them as a table and merge the "
+        "flattened values into the persisted result rows (tele_* columns)",
+    )
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-case started/finished and batch-fusion events to "
+        "stderr while the runner works",
+    )
+
+    report = subparsers.add_parser(
+        "report", help="render a telemetry trace or benchmark records file"
+    )
+    report.add_argument(
+        "path",
+        help="JSONL file: a telemetry trace (repro-trace/1, from --trace) or "
+        "benchmark timing records (repro-bench/1, with --bench)",
+    )
+    report.add_argument(
+        "--bench",
+        action="store_true",
+        help="treat the file as benchmark records and render the "
+        "engine x instance throughput matrix",
     )
 
     oscillate = subparsers.add_parser(
@@ -276,6 +333,8 @@ def _cmd_simulate(
     seed: int = 0,
     column_generation: bool = False,
     scenario_name: Optional[str] = None,
+    trace: Optional[str] = None,
+    metrics: bool = False,
 ) -> int:
     network = get_instance(instance)
     policy = POLICY_BUILDERS[policy_name](network)
@@ -298,47 +357,61 @@ def _cmd_simulate(
         if update_period <= 0:
             print("error: --period must be positive", file=sys.stderr)
             return 2
-    if column_generation:
-        if method == "agents":
-            print("error: --column-generation supports fluid methods only", file=sys.stderr)
-            return 2
-        from .largescale import ActivePathSet, simulate_with_column_generation
+    if column_generation and method == "agents":
+        print("error: --column-generation supports fluid methods only", file=sys.stderr)
+        return 2
 
-        result = simulate_with_column_generation(
-            ActivePathSet.from_network(network),
-            POLICY_BUILDERS[policy_name],
-            update_period=update_period,
-            horizon=horizon,
-            stale=not fresh,
-            method=method,
-            scenario=scenario,
-        )
-        trajectory = result.trajectory
-        print(
-            f"column generation: {result.network.num_paths} active paths "
-            f"({result.total_columns_added} discovered over "
-            f"{len(result.growth_events)} refreshes)"
-        )
-        if result.eviction_events:
-            moved = sum(volume for _, volume in result.eviction_events)
-            print(
-                f"closures: {len(result.eviction_events)} eviction(s), "
-                f"total flow volume moved off closed columns = {moved:.4g}"
-            )
-    else:
-        start = FlowVector.single_path(network, {i: 0 for i in range(network.num_commodities)})
-        start = start.blend(FlowVector.uniform(network), 0.05)
-        if method == "agents":
-            trajectory = simulate_agents(
-                network, policy, num_agents=num_agents, update_period=update_period,
-                horizon=horizon, initial_flow=start, seed=seed, stale=not fresh,
+    from contextlib import ExitStack
+
+    stack = ExitStack()
+    tele = None
+    if trace is not None or metrics:
+        from .telemetry import telemetry_session
+
+        tele = stack.enter_context(telemetry_session(trace_path=trace))
+    with stack:
+        if column_generation:
+            from .largescale import ActivePathSet, simulate_with_column_generation
+
+            result = simulate_with_column_generation(
+                ActivePathSet.from_network(network),
+                POLICY_BUILDERS[policy_name],
+                update_period=update_period,
+                horizon=horizon,
+                stale=not fresh,
+                method=method,
                 scenario=scenario,
             )
-        else:
-            trajectory = simulate(
-                network, policy, update_period=update_period, horizon=horizon,
-                initial_flow=start, stale=not fresh, method=method, scenario=scenario,
+            trajectory = result.trajectory
+            print(
+                f"column generation: {result.network.num_paths} active paths "
+                f"({result.total_columns_added} discovered over "
+                f"{len(result.growth_events)} refreshes)"
             )
+            if result.eviction_events:
+                moved = sum(volume for _, volume in result.eviction_events)
+                print(
+                    f"closures: {len(result.eviction_events)} eviction(s), "
+                    f"total flow volume moved off closed columns = {moved:.4g}"
+                )
+        else:
+            start = FlowVector.single_path(network, {i: 0 for i in range(network.num_commodities)})
+            start = start.blend(FlowVector.uniform(network), 0.05)
+            if method == "agents":
+                trajectory = simulate_agents(
+                    network, policy, num_agents=num_agents, update_period=update_period,
+                    horizon=horizon, initial_flow=start, seed=seed, stale=not fresh,
+                    scenario=scenario,
+                )
+            else:
+                trajectory = simulate(
+                    network, policy, update_period=update_period, horizon=horizon,
+                    initial_flow=start, stale=not fresh, method=method, scenario=scenario,
+                )
+    if metrics and tele is not None:
+        print_table(tele.metrics.rows(), title="telemetry metrics")
+    if trace is not None:
+        print(f"wrote trace {trace}")
     report = analyse_oscillation(trajectory)
     if scenario is not None:
         print(f"scenario: {scenario_name} ({scenario!r})")
@@ -424,23 +497,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         row["final_potential"] = potential(trajectory.final_flow)
         return row
 
-    result = run_plan(
-        plan,
-        build_row,
-        engine=args.engine,
-        processes=args.processes,
-        csv_path=args.csv,
-        jsonl_path=args.jsonl,
-        include_seed=args.include_seed,
-    )
+    use_telemetry = args.trace is not None or args.metrics or args.progress
+    if use_telemetry:
+        from .telemetry import telemetry_session
+
+        listener = None
+        if args.progress:
+
+            def listener(name, attrs):
+                if name in ("case_started", "case_finished", "batch_fused", "pool_dispatched"):
+                    detail = " ".join(f"{key}={value}" for key, value in attrs.items())
+                    print(f"[{name}] {detail}".rstrip(), file=sys.stderr)
+
+        # Persist after the session so --metrics columns reach the files.
+        with telemetry_session(trace_path=args.trace, progress=listener) as tele:
+            result = run_plan(
+                plan,
+                build_row,
+                engine=args.engine,
+                processes=args.processes,
+                include_seed=args.include_seed,
+            )
+        if args.metrics:
+            result.merge_metrics(tele.metrics.flatten())
+        if args.csv:
+            result.to_csv(args.csv)
+        if args.jsonl:
+            result.to_jsonl(args.jsonl)
+    else:
+        result = run_plan(
+            plan,
+            build_row,
+            engine=args.engine,
+            processes=args.processes,
+            csv_path=args.csv,
+            jsonl_path=args.jsonl,
+            include_seed=args.include_seed,
+        )
     print_table(
         result.rows,
         title=f"Sweep of {args.instance} ({args.policy}, "
         f"{'fresh' if args.fresh else 'stale'} info, {args.method}, engine={args.engine})",
     )
-    for path in (args.csv, args.jsonl):
+    if use_telemetry and args.metrics:
+        print_table(tele.metrics.rows(), title="telemetry metrics")
+    for path in (args.csv, args.jsonl, args.trace):
         if path:
             print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(path: str, bench: bool) -> int:
+    if bench:
+        from .telemetry.bench import load_records, render_throughput_matrix
+
+        records = load_records(path)
+        if not records:
+            print(f"error: no repro-bench/1 records in {path}", file=sys.stderr)
+            return 2
+        print(render_throughput_matrix(records))
+        return 0
+    from .telemetry.report import load_trace, render_trace_report
+
+    try:
+        records = load_trace(path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_trace_report(records, title=path))
     return 0
 
 
@@ -472,10 +596,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(
             args.instance, args.policy, args.period, args.horizon, args.fresh,
             args.method, args.agents, args.seed, args.column_generation,
-            args.scenario,
+            args.scenario, args.trace, args.metrics,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args.path, args.bench)
     if args.command == "oscillate":
         return _cmd_oscillate(args.beta, args.period, args.phases)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -49,6 +49,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..scenarios.scenario import Scenario
 
+from ..telemetry.runtime import get_telemetry
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from .bulletin import BulletinBoard
@@ -335,6 +336,16 @@ class AgentBasedSimulator:
         policy = self.policy
         n = config.num_agents
         num_paths = network.num_paths
+        tele = get_telemetry()
+        run_span = tele.span(
+            "engine_run",
+            engine="agents",
+            stale=config.stale,
+            agents=n,
+            paths=num_paths,
+        )
+        events_counter = tele.counter("agents.events")
+        phases_counter = tele.counter("agents.phases_integrated")
         rng = np.random.default_rng(config.seed)
         assignment, weights = build_population(
             network, n, initial_flow.values() if initial_flow is not None else None
@@ -383,17 +394,21 @@ class AgentBasedSimulator:
             agents = rng.integers(n, size=count)
             u_sample = rng.random(count)
             u_migrate = rng.random(count)
+            phase_span = tele.span("phase", index=phase, activations=count)
+            events_counter.add(count)
 
             if config.stale:
-                snapshot = board.snapshot
-                sigma = policy.sampling.probabilities(
-                    network, snapshot.path_flows, snapshot.path_latencies
-                )
-                mu = policy.migration.matrix(snapshot.path_latencies)
-                cdf, valid = sampling_tables(sigma, layout)
-                apply_events(
-                    assignment, agents, u_sample, u_migrate, cdf, valid, mu, member_paths
-                )
+                with tele.span("field_eval"):
+                    snapshot = board.snapshot
+                    sigma = policy.sampling.probabilities(
+                        network, snapshot.path_flows, snapshot.path_latencies
+                    )
+                    mu = policy.migration.matrix(snapshot.path_latencies)
+                    cdf, valid = sampling_tables(sigma, layout)
+                with tele.span("apply_events", events=count):
+                    apply_events(
+                        assignment, agents, u_sample, u_migrate, cdf, valid, mu, member_paths
+                    )
             else:
                 # The live tables depend only on flow_live, so they stay
                 # valid until a migration changes it -- recomputing them
@@ -434,9 +449,12 @@ class AgentBasedSimulator:
             if sampled_now:
                 trajectory.record(end, flow, phase)
             previous = flow
+            phases_counter.add()
+            phase_span.close()
             if stop_when is not None and stop_when(end, flow):
                 if not sampled_now:
                     trajectory.record(end, flow, phase)
+                tele.event("stop_when_fired", time=end, phase=phase)
                 break
             if config.stale:
                 if end < horizon:
@@ -445,10 +463,15 @@ class AgentBasedSimulator:
                         # so it is priced in that phase's environment.
                         board.network = scenario.network_at(network, end)
                     board.post(end, flow_values)
+                    tele.event("bulletin_refresh", time=end)
+                    tele.counter("agents.bulletin_refreshes").add()
             else:
                 flow_live = flow_values.copy()
 
         self.final_assignment = assignment
+        run_span.annotate(phases=len(trajectory.phases))
+        run_span.close()
+        tele.counter("agents.runs").add()
         return trajectory
 
 

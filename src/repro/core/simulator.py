@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from ..telemetry.runtime import get_telemetry
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from .bulletin import BulletinBoard, FreshInformationBoard
@@ -108,6 +109,25 @@ class ReroutingSimulator:
         it returns ``True`` the run ends early (the final state is still
         recorded).
         """
+        tele = get_telemetry()
+        with tele.span(
+            "engine_run",
+            engine="fluid-scalar",
+            method=self.config.method,
+            stale=self.config.stale,
+            paths=self.network.num_paths,
+        ) as run_span:
+            trajectory = self._run(initial_flow, stop_when, tele)
+            run_span.annotate(phases=len(trajectory.phases))
+        tele.counter("fluid.runs").add()
+        return trajectory
+
+    def _run(
+        self,
+        initial_flow: Optional[FlowVector],
+        stop_when: Optional[StoppingCondition],
+        tele,
+    ) -> Trajectory:
         config = self.config
         network = self.network
         flow = initial_flow or FlowVector.uniform(network)
@@ -132,41 +152,53 @@ class ReroutingSimulator:
         board.post(time, flow.values())
         trajectory.record(time, flow, board.phase_index)
 
+        phases_counter = tele.counter("fluid.phases_integrated")
+        refresh_counter = tele.counter("fluid.bulletin_refreshes")
         num_phases = int(np.ceil(config.horizon / config.update_period))
         for phase in range(num_phases):
             phase_start = phase * config.update_period
             phase_end = min((phase + 1) * config.update_period, config.horizon)
             start_flow = flow
-            if scenario is not None:
-                phase_network = scenario.network_at(network, phase_start)
-                board.network = phase_network
-            else:
-                phase_network = network
-            if config.stale:
-                # One frozen snapshot for the whole phase: sigma and mu are
-                # precomputed once instead of once per integrator stage (the
-                # trajectory is identical bit for bit; see
-                # ReroutingPolicy.frozen_growth_field).
-                board.maybe_update(phase_start, flow.values())
-                snapshot = board.snapshot
-                field = self.policy.frozen_growth_field(
-                    network, snapshot.path_flows, snapshot.path_latencies
-                )
-                new_values = self._integrate_phase(
-                    field, flow.values(), phase_start, phase_end, step, trajectory, phase
-                )
-            else:
-                # Up-to-date information: probabilities follow the live state
-                # (priced in the phase's frozen environment).
-                def field(_t: float, state: np.ndarray) -> np.ndarray:
-                    live_latencies = phase_network.path_latencies(state)
-                    return self.policy.growth_rates(network, state, state, live_latencies)
+            phase_span = tele.span("phase", index=phase, start=phase_start)
+            with phase_span:
+                if scenario is not None:
+                    phase_network = scenario.network_at(network, phase_start)
+                    board.network = phase_network
+                else:
+                    phase_network = network
+                if config.stale:
+                    # One frozen snapshot for the whole phase: sigma and mu
+                    # are precomputed once instead of once per integrator
+                    # stage (the trajectory is identical bit for bit; see
+                    # ReroutingPolicy.frozen_growth_field).
+                    if board.maybe_update(phase_start, flow.values()):
+                        tele.event("bulletin_refresh", time=phase_start)
+                        refresh_counter.add()
+                    snapshot = board.snapshot
+                    with tele.span("field_eval"):
+                        field = self.policy.frozen_growth_field(
+                            network, snapshot.path_flows, snapshot.path_latencies
+                        )
+                    with tele.span("integrate", state_bytes=flow.values().nbytes):
+                        new_values = self._integrate_phase(
+                            field, flow.values(), phase_start, phase_end, step,
+                            trajectory, phase,
+                        )
+                else:
+                    # Up-to-date information: probabilities follow the live
+                    # state (priced in the phase's frozen environment).
+                    def field(_t: float, state: np.ndarray) -> np.ndarray:
+                        live_latencies = phase_network.path_latencies(state)
+                        return self.policy.growth_rates(network, state, state, live_latencies)
 
-                new_values = self._integrate_phase(
-                    field, flow.values(), phase_start, phase_end, step, trajectory, phase
-                )
-                board.post(phase_end, new_values)
-            flow = FlowVector(network, new_values, validate=False).projected()
+                    with tele.span("integrate", state_bytes=flow.values().nbytes):
+                        new_values = self._integrate_phase(
+                            field, flow.values(), phase_start, phase_end, step,
+                            trajectory, phase,
+                        )
+                    board.post(phase_end, new_values)
+                flow = FlowVector(network, new_values, validate=False).projected()
+            phases_counter.add()
             trajectory.record_phase(
                 PhaseRecord(
                     index=phase,
@@ -178,6 +210,7 @@ class ReroutingSimulator:
             )
             trajectory.record(phase_end, flow, phase)
             if stop_when is not None and stop_when(phase_end, flow):
+                tele.event("stop_when_fired", time=phase_end, phase=phase)
                 break
             if phase_end >= config.horizon:
                 break

@@ -32,11 +32,13 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.sweeps import RowBuilder, SweepCase, SweepResult
+from ..telemetry.runtime import get_telemetry
 from ..batch.agents import BatchAgentConfig, BatchAgentSimulator
 from ..batch.engine import BatchConfig, BatchSimulator, Policies
 from ..core.agents import DEFAULT_NUM_AGENTS, AgentBasedSimulator, AgentSimulationConfig
@@ -143,6 +145,32 @@ def _simulate_case(case: SweepCase) -> Trajectory:
         stop_when=scalar_stop,
         scenario=case.scenario,
     )
+
+
+def _case_event_attrs(case: SweepCase) -> Dict[str, object]:
+    """Return the JSON-friendly attributes of one case's progress events."""
+    attrs: Dict[str, object] = {
+        "method": case.method,
+        "stale": case.stale,
+        "update_period": case.update_period,
+        "horizon": case.horizon,
+    }
+    for key, value in case.parameters.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            attrs.setdefault(key, value)
+    return attrs
+
+
+def _serial_case_rows(case: SweepCase, row_builder: RowBuilder) -> Rows:
+    """Run one case serially, emitting started/finished progress events."""
+    tele = get_telemetry()
+    attrs = _case_event_attrs(case) if tele.enabled else {}
+    tele.event("case_started", **attrs)
+    begin = time.perf_counter() if tele.enabled else 0.0
+    rows = _case_rows(case, _simulate_case(case), row_builder)
+    tele.event("case_finished", seconds=time.perf_counter() - begin, **attrs)
+    tele.counter("runner.cases_completed").add()
+    return rows
 
 
 def _case_rows(case: SweepCase, trajectory: Trajectory, row_builder: RowBuilder) -> Rows:
@@ -311,10 +339,18 @@ def _dispatch_rows(
     processes: Optional[int],
 ) -> List[Rows]:
     """Return one list of result rows per case, in case order."""
+    tele = get_telemetry()
     if engine == "serial":
-        return [_case_rows(case, _simulate_case(case), row_builder) for case in cases]
+        return [_serial_case_rows(case, row_builder) for case in cases]
     if engine == "processes":
-        return _run_pool_rows(cases, processes or os.cpu_count() or 1, row_builder)
+        pool_size = processes or os.cpu_count() or 1
+        if pool_size > 1 and len(cases) > 1:
+            # Fork-based workers keep their telemetry in the child process;
+            # the parent reports only the dispatch itself.
+            tele.event("pool_dispatched", cases=len(cases), processes=pool_size)
+        results = _run_pool_rows(cases, pool_size, row_builder)
+        tele.counter("runner.cases_completed").add(len(results))
+        return results
     if engine not in ("auto", "batch"):
         raise ValueError(
             f"unknown engine {engine!r}; use 'auto', 'batch', 'processes' or 'serial'"
@@ -334,23 +370,35 @@ def _dispatch_rows(
             # choice.
             leftovers.extend(indices)
         elif engine == "batch" or len(indices) > 1:
+            tele.event(
+                "batch_fused",
+                cases=len(indices),
+                method=key[2],
+                stale=key[1],
+            )
+            tele.counter("runner.batch_groups").add()
+            tele.histogram("runner.batch_group_size").observe(len(indices))
             for index, trajectory in zip(
                 indices, _run_batch_group([cases[i] for i in indices])
             ):
                 rows_per_case[index] = _case_rows(cases[index], trajectory, row_builder)
+                tele.event("case_finished", **_case_event_attrs(cases[index]))
+                tele.counter("runner.cases_completed").add()
         else:
             leftovers.extend(indices)
     if leftovers:
         leftovers.sort()
         if processes and processes > 1:
+            # Fork-based workers keep their telemetry in the child process;
+            # the parent reports only the dispatch itself.
+            tele.event("pool_dispatched", cases=len(leftovers), processes=processes)
             results = _run_pool_rows([cases[i] for i in leftovers], processes, row_builder)
+            for index, rows in zip(leftovers, results):
+                rows_per_case[index] = rows
+                tele.counter("runner.cases_completed").add()
         else:
-            results = [
-                _case_rows(cases[i], _simulate_case(cases[i]), row_builder)
-                for i in leftovers
-            ]
-        for index, rows in zip(leftovers, results):
-            rows_per_case[index] = rows
+            for index in leftovers:
+                rows_per_case[index] = _serial_case_rows(cases[index], row_builder)
     return rows_per_case  # type: ignore[return-value]
 
 
@@ -367,10 +415,12 @@ def run_cases(
     merged over the case's echoed ``parameters``.
     """
     cases = list(cases)
-    result = SweepResult()
-    for rows in _dispatch_rows(cases, row_builder, engine, processes):
-        for row in rows:
-            result.append(row)
+    tele = get_telemetry()
+    with tele.span("sweep", cases=len(cases), engine=engine):
+        result = SweepResult()
+        for rows in _dispatch_rows(cases, row_builder, engine, processes):
+            for row in rows:
+                result.append(row)
     return result
 
 

@@ -38,6 +38,7 @@ import numpy as np
 from ..core.dynamics import integrate, integration_step_for
 from ..core.policy import ReroutingPolicy
 from ..core.trajectory import PhaseRecord, Trajectory
+from ..telemetry.runtime import get_telemetry
 from ..wardrop.commodity import Commodity, normalise_demands
 from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
@@ -372,6 +373,19 @@ def simulate_with_column_generation(
     path_counts: List[int] = []
     eviction_events: List[Tuple[int, float]] = []
 
+    tele = get_telemetry()
+    run_span = tele.span(
+        "engine_run",
+        engine="column-generation",
+        stale=stale,
+        method=method,
+        initial_paths=network.num_paths,
+    )
+    added_counter = tele.counter("cg.columns_added")
+    invalidated_counter = tele.counter("cg.columns_invalidated")
+    refresh_counter = tele.counter("cg.bulletin_refreshes")
+    phases_counter = tele.counter("cg.phases_integrated")
+
     num_phases = int(np.ceil(horizon / update_period))
     posted_time = -np.inf
     posted_values: Optional[np.ndarray] = None
@@ -408,14 +422,19 @@ def simulate_with_column_generation(
         else:
             refresh_time = phase_start
             refresh = True
+        phase_span = tele.span("phase", index=phase, start=phase_start)
         if refresh:
             # Refresh instant: the board posts the live flow, and the oracle
             # is consulted on exactly what the board shows (priced in the
             # phase's effective environment).
+            cg_span = tele.span("column_generation_round", phase=phase)
+            tele.event("bulletin_refresh", time=refresh_time, phase=phase)
+            refresh_counter.add()
             costs = active.posted_costs(effective, values)
             added = active.augment(costs)
             if added:
                 growth_events.append((phase, added))
+                added_counter.add(len(added))
                 new_network = active.network
                 values = active.embed(values, network, new_network)
                 network = new_network
@@ -428,23 +447,29 @@ def simulate_with_column_generation(
             newly_closed = closed_now - previously_closed
             if newly_closed:
                 crossing = active.invalidate_columns(network, closed_now)
+                invalidated_counter.add(len(crossing))
                 values, moved = _evict_closed_columns(
                     network, values, crossing, effective.path_latencies(values)
                 )
                 if moved > 0.0:
                     eviction_events.append((phase, moved))
+                    tele.event("columns_evicted", phase=phase, volume=moved)
+                    tele.histogram("cg.evicted_volume").observe(moved)
             posted_values = values.copy()
             posted_latencies = effective.path_latencies(posted_values)
             posted_time = refresh_time
             posted_modulation = modulation
+            cg_span.annotate(columns_added=len(added), paths=network.num_paths)
+            cg_span.close()
         previously_closed = closed_now
         path_counts.append(network.num_paths)
 
         start_values = values.copy()
         if stale:
-            field_fn = current_policy.frozen_growth_field(
-                network, posted_values, posted_latencies
-            )
+            with tele.span("field_eval"):
+                field_fn = current_policy.frozen_growth_field(
+                    network, posted_values, posted_latencies
+                )
         else:
             policy_ref = current_policy
             network_ref = network
@@ -454,19 +479,29 @@ def simulate_with_column_generation(
                 live = effective_ref.path_latencies(state)
                 return policy_ref.growth_rates(network_ref, state, state, live)
 
-        raw = integrate(field_fn, values, phase_start, phase_end, step, method)
+        with tele.span("integrate", state_bytes=values.nbytes):
+            raw = integrate(field_fn, values, phase_start, phase_end, step, method)
         values = FlowVector(network, raw, validate=False).projected().values()
         boundaries.append(
             (phase, phase_start, phase_end, start_values, values.copy(), network)
         )
         samples.append((phase_end, network, values.copy(), phase))
+        phases_counter.add()
+        phase_span.close()
         if stop_when is not None and stop_when(
             phase_end, FlowVector(network, values, validate=False)
         ):
+            tele.event("stop_when_fired", time=phase_end, phase=phase)
             break
         if phase_end >= horizon:
             break
 
+    run_span.annotate(
+        final_paths=network.num_paths,
+        columns_added=sum(len(paths) for _, paths in growth_events),
+    )
+    run_span.close()
+    tele.counter("cg.runs").add()
     final_network = network
     trajectory = Trajectory(
         network=final_network,

@@ -17,12 +17,14 @@ equivalence test asserts both produce the same edge flows.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..largescale.shortest import ShortestPathOracle
+from ..telemetry.runtime import get_telemetry
 from ..wardrop.network import WardropNetwork
 from .line_search import bisection_root
 
@@ -119,6 +121,17 @@ def solve_edge_flow_equilibrium(
             )
 
     functions = [network.latency_function(edge) for edge in oracle.edges]
+    tele = get_telemetry()
+    run_span = tele.span(
+        "engine_run",
+        engine="edge-fw",
+        edges=oracle.num_edges,
+        tolerance=tolerance,
+        state_bytes=flows.nbytes,
+    )
+    gap_series = tele.series_of("fw.relative_gap")
+    iteration_counter = tele.counter("fw.iterations")
+    solve_start = time.perf_counter() if tele.enabled else 0.0
     gap_history: List[float] = []
     converged = False
     iterations = 0
@@ -127,13 +140,21 @@ def solve_edge_flow_equilibrium(
     tstt = float(np.dot(costs, flows))
     sptt = tstt
     for iterations in range(1, max_iterations + 1):
+        iteration_span = tele.span("fw_iteration", index=iterations)
         load = oracle.all_or_nothing(costs)
         tstt = float(np.dot(costs, flows))
         sptt = load.sptt
         relative_gap = tstt / sptt - 1.0
         gap_history.append(relative_gap)
+        if tele.enabled:
+            # The gap-vs-wall-time curve is a first-class trace artefact:
+            # `repro report` plots solver progress from this series alone.
+            gap_series.append(time.perf_counter() - solve_start, relative_gap)
+            iteration_span.annotate(gap=relative_gap)
+        iteration_counter.add()
         if relative_gap <= tolerance:
             converged = True
+            iteration_span.close()
             break
         direction = load.edge_flows - flows
 
@@ -154,6 +175,10 @@ def solve_edge_flow_equilibrium(
             step = 2.0 / (iterations + 2.0)
         flows = flows + step * direction
         costs = oracle.latency_costs(network, flows)
+        iteration_span.close()
+    run_span.annotate(iterations=iterations, converged=converged, gap=float(relative_gap))
+    run_span.close()
+    tele.counter("fw.runs").add()
     return EdgeEquilibriumResult(
         edge_flows=flows,
         potential_value=edge_potential(network, oracle, flows),

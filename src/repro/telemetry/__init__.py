@@ -1,0 +1,64 @@
+"""Telemetry: structured tracing, metrics and profiling hooks for every engine.
+
+The subsystem is zero-dependency and off by default: engines fetch the
+active session with :func:`get_telemetry`, which returns a shared no-op
+object unless a :func:`telemetry_session` is active, so instrumented hot
+paths cost nothing measurable when tracing is disabled and never change
+numerical results either way.
+
+* :mod:`~repro.telemetry.tracer` -- nested spans with wall time and
+  attribute bags, plus the no-op :class:`NullTracer` default;
+* :mod:`~repro.telemetry.metrics` -- the counter/gauge/histogram/series
+  registry engines update at phase boundaries;
+* :mod:`~repro.telemetry.runtime` -- the active-session plumbing
+  (:func:`get_telemetry`, :func:`telemetry_session`) and JSONL export;
+* :mod:`~repro.telemetry.report` -- renders a trace into per-engine /
+  per-phase timing and throughput tables (the ``repro report`` command);
+* :mod:`~repro.telemetry.bench` -- the unified machine-readable timing
+  records of the benchmark harness (one schema, reused by CI).
+"""
+
+from .bench import BenchTimer, bench_timer, load_records, render_throughput_matrix
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    Series,
+)
+from .report import load_trace, render_trace_report
+from .runtime import (
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BenchTimer",
+    "bench_timer",
+    "load_records",
+    "render_throughput_matrix",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "load_trace",
+    "render_trace_report",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]

@@ -1,0 +1,257 @@
+"""The metrics registry: counters, gauges, histograms and series.
+
+Engines update metrics at phase boundaries (never inside integration
+loops): phases integrated, rows frozen by ``stop_when``, column-generation
+columns added/invalidated, agent events per phase, the Frank--Wolfe
+duality-gap trajectory.  The registry flattens into one flat
+``{name: value}`` dict that merges into :class:`~repro.analysis.sweeps.
+SweepResult` rows and the CSV/JSONL persistence, and renders into a
+``reporting.py`` summary table.
+
+Instruments are created on first use (``registry.counter("x")``), so call
+sites never need registration boilerplate.  The :class:`NullMetrics`
+registry hands out shared no-op instruments and is the default when no
+telemetry session is active.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, phases, columns...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement (batch size, active paths...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+
+class Series:
+    """An append-only ``(x, y)`` trajectory (e.g. duality gap vs time)."""
+
+    __slots__ = ("points",)
+
+    def __init__(self) -> None:
+        self.points: List[Tuple[float, float]] = []
+
+    def append(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.series: Dict[str, Series] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    def series_of(self, name: str) -> Series:
+        instrument = self.series.get(name)
+        if instrument is None:
+            instrument = self.series[name] = Series()
+        return instrument
+
+    # Export -----------------------------------------------------------------
+
+    def flatten(self, prefix: str = "") -> Dict[str, float]:
+        """Return one flat ``{name: value}`` dict of every instrument.
+
+        Histograms expand into ``_count`` / ``_mean`` / ``_max`` keys and
+        series into their last ``y`` plus a ``_points`` length; the result
+        merges straight into sweep rows and CSV/JSONL persistence.
+        """
+        flat: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            flat[prefix + name] = counter.value
+        for name, gauge in self.gauges.items():
+            flat[prefix + name] = gauge.value
+        for name, histogram in self.histograms.items():
+            flat[prefix + name + "_count"] = histogram.count
+            flat[prefix + name + "_mean"] = histogram.mean
+            flat[prefix + name + "_max"] = (
+                histogram.maximum if histogram.count else float("nan")
+            )
+        for name, series in self.series.items():
+            flat[prefix + name + "_points"] = len(series)
+            if series.points:
+                flat[prefix + name + "_last"] = series.points[-1][1]
+        return flat
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Return one table row per instrument (for ``reporting.render_table``)."""
+        rows: List[Dict[str, object]] = []
+        for name in sorted(self.counters):
+            rows.append({"metric": name, "type": "counter", "value": self.counters[name].value})
+        for name in sorted(self.gauges):
+            rows.append({"metric": name, "type": "gauge", "value": self.gauges[name].value})
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            rows.append(
+                {
+                    "metric": name,
+                    "type": "histogram",
+                    "value": histogram.mean,
+                    "count": histogram.count,
+                    "min": histogram.minimum if histogram.count else float("nan"),
+                    "max": histogram.maximum if histogram.count else float("nan"),
+                }
+            )
+        for name in sorted(self.series):
+            series = self.series[name]
+            rows.append(
+                {
+                    "metric": name,
+                    "type": "series",
+                    "value": series.points[-1][1] if series.points else float("nan"),
+                    "count": len(series),
+                }
+            )
+        return rows
+
+    def to_record(self) -> Dict[str, Any]:
+        """Return the registry snapshot as one trace-file record."""
+        return {
+            "kind": "metrics",
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.minimum if h.count else None,
+                    "max": h.maximum if h.count else None,
+                }
+                for name, h in self.histograms.items()
+            },
+            "series": {name: s.points for name, s in self.series.items()},
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram/series."""
+
+    __slots__ = ()
+
+    value = 0.0
+    count = 0
+    points: List[Tuple[float, float]] = []
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def append(self, x: float, y: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def series_of(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def flatten(self, prefix: str = "") -> Dict[str, float]:
+        return {}
+
+    def rows(self) -> List[Dict[str, object]]:
+        return []
+
+
+NULL_METRICS = NullMetrics()

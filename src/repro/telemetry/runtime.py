@@ -1,0 +1,158 @@
+"""The active telemetry session: one tracer + one metrics registry.
+
+Engines never take a telemetry argument -- they call :func:`get_telemetry`
+at the top of their run loop, which returns either the disabled
+:data:`NULL_TELEMETRY` (the default; spans and metric updates are then
+near-free no-ops) or the session installed by :func:`telemetry_session` /
+:func:`set_telemetry`.  Keeping the lookup out of engine signatures is what
+lets every existing call site -- and every bit-identity test -- run
+unmodified whether or not telemetry is on.
+
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session(trace_path="out.jsonl") as tele:
+        simulate(network, policy, update_period=0.1, horizon=10.0)
+    # out.jsonl now holds the engine_run/phase span tree + metrics snapshot
+
+``progress`` attaches an event listener (a callable ``(name, attrs)``);
+the experiment runner's per-case started/finished events and batch-fusion
+decisions flow through it, which is what ``repro sweep --progress`` prints.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional
+
+from .metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+]
+
+ProgressListener = Callable[[str, dict], None]
+
+
+class Telemetry:
+    """Facade bundling a tracer, a metrics registry and event listeners."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.listeners: List[ProgressListener] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # Tracing shortcuts ------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        return self.tracer.span(name, **attributes)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        self.tracer.event(name, **attributes)
+        for listener in self.listeners:
+            listener(name, attributes)
+
+    def annotate(self, **attributes: Any) -> None:
+        self.tracer.annotate(**attributes)
+
+    # Metrics shortcuts ------------------------------------------------------
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str):
+        return self.metrics.histogram(name)
+
+    def series_of(self, name: str):
+        return self.metrics.series_of(name)
+
+    # Export -----------------------------------------------------------------
+
+    def write_trace(self, path) -> None:
+        """Write the JSONL trace: spans + events, then the metrics snapshot."""
+        self.tracer.write_jsonl(path, extra_records=[self.metrics.to_record()])
+
+
+class _NullTelemetry(Telemetry):
+    """The disabled session returned by default from :func:`get_telemetry`."""
+
+    def __init__(self) -> None:
+        self.tracer: NullTracer = NULL_TRACER  # type: ignore[assignment]
+        self.metrics: NullMetrics = NULL_METRICS  # type: ignore[assignment]
+        self.listeners = []
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def write_trace(self, path) -> None:  # pragma: no cover - guard
+        raise RuntimeError("no active telemetry session to export")
+
+
+NULL_TELEMETRY = _NullTelemetry()
+
+_active: Telemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry:
+    """Return the active session (the disabled no-op one by default)."""
+    return _active
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` as the active session; returns the previous one.
+
+    Passing ``None`` restores the disabled default.  Prefer the
+    :func:`telemetry_session` context manager, which also restores and
+    exports on exit.
+    """
+    global _active
+    previous = _active
+    _active = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def telemetry_session(
+    trace_path=None,
+    progress: Optional[ProgressListener] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> Iterator[Telemetry]:
+    """Activate a telemetry session for the duration of a ``with`` block.
+
+    ``trace_path`` writes the JSONL trace (spans, events, metrics snapshot)
+    on exit -- also on exceptions, so aborted runs keep their partial trace.
+    ``progress`` registers an event listener.  ``telemetry`` reuses an
+    existing session object instead of building a fresh one (e.g. to share
+    one registry across several blocks).
+    """
+    session = telemetry if telemetry is not None else Telemetry()
+    if progress is not None:
+        session.listeners.append(progress)
+    previous = set_telemetry(session)
+    try:
+        yield session
+    finally:
+        set_telemetry(previous)
+        if progress is not None and progress in session.listeners:
+            session.listeners.remove(progress)
+        if trace_path is not None:
+            session.write_trace(trace_path)

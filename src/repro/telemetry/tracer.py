@@ -1,0 +1,250 @@
+"""Structured tracing: nested spans with wall time and attributes.
+
+A :class:`Tracer` records a tree of *spans* -- named intervals with a wall
+clock start/end and a flat attribute dict (op counts, array shapes, byte
+sizes) -- plus zero-duration *events*.  Every engine in the repo opens an
+``engine_run`` root span and nests ``phase`` / ``bulletin_refresh`` /
+``field_eval`` / ``integrate`` / ``column_generation_round`` /
+``fw_iteration`` spans under it; the recorded tree is what
+``repro report`` renders into per-engine and per-phase timing tables.
+
+The default tracer is the module-level :data:`NULL_TRACER`, whose ``span``
+returns one shared no-op context manager and whose ``event`` does nothing:
+instrumented hot paths cost a dict construction and two method calls *per
+phase boundary* (never per integration sub-step) when tracing is disabled,
+which is unmeasurable next to a phase's numerical work -- the overhead
+guarantee is checked by ``benchmarks/bench_batch_throughput.py --smoke``.
+Tracing must never change numerical results: spans only *read* values, so
+the bit-identity suites run unmodified whether or not a tracer is active.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One named, timed interval in a trace (attribute bag included).
+
+    ``duration`` is ``end - start`` in seconds (``0.0`` for events and for
+    spans still open).  ``parent_id`` is the id of the enclosing span
+    (``None`` at the root), which lets the report rebuild the tree.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attributes", "kind")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        attributes: Dict[str, Any],
+        kind: str = "span",
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes = attributes
+        self.kind = kind
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_record(self) -> Dict[str, Any]:
+        """Return the span as a flat JSON-serialisable dict (trace schema)."""
+        record: Dict[str, Any] = {
+            "kind": self.kind,
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "t0": self.start,
+        }
+        if self.kind == "span":
+            record["t1"] = self.end if self.end is not None else self.start
+            record["dur"] = self.duration
+        if self.attributes:
+            record["attrs"] = self.attributes
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, dur={self.duration:.6f}, "
+            f"attrs={self.attributes!r})"
+        )
+
+
+class _SpanContext:
+    """Context manager closing one open span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the span while it is running."""
+        self._span.attributes.update(attributes)
+
+    def close(self) -> None:
+        """Imperatively end the span (for loop-shaped code without ``with``).
+
+        The span opens when :meth:`Tracer.span` creates it, so pairing the
+        call with ``close()`` is equivalent to a ``with`` block.
+        """
+        self._tracer._close(self._span)
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Records nested spans and events against a monotonic wall clock.
+
+    The clock is :func:`time.perf_counter` by default; all recorded times
+    are relative to the tracer's creation instant, so traces from one
+    session share one time base.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._origin = clock()
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # Recording --------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._origin
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span("phase", index=k):``."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent, name, self._now(), attributes)
+        self._next_id += 1
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self._now()
+        # Spans close in LIFO order under normal with-statement use; tolerate
+        # out-of-order closes (generators, early exits) by searching down.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        self.spans.append(span)
+
+    def event(self, name: str, **attributes: Any) -> Span:
+        """Record a zero-duration event under the current span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent, name, self._now(), attributes, kind="event")
+        span.end = span.start
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the innermost open span (no-op at the root)."""
+        if self._stack:
+            self._stack[-1].attributes.update(attributes)
+
+    # Export -----------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Return every finished span/event as a dict, in start-time order."""
+        return [span.to_record() for span in sorted(self.spans, key=lambda s: s.start)]
+
+    def write_jsonl(self, path, extra_records=()) -> None:
+        """Write the trace as JSON Lines: one span/event per line.
+
+        ``extra_records`` (e.g. the metrics snapshot) are appended after the
+        spans; a leading ``meta`` line makes the file self-describing.
+        """
+        with open(path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "meta",
+                        "schema": "repro-trace/1",
+                        "spans": len(self.spans),
+                        "created_unix": time.time(),
+                    }
+                )
+                + "\n"
+            )
+            for record in self.records():
+                handle.write(json.dumps(record, default=str) + "\n")
+            for record in extra_records:
+                handle.write(json.dumps(record, default=str) + "\n")
+
+
+class _NullSpanContext:
+    """The shared do-nothing span context of the :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    span = None
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a near-free no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is the default
+    telemetry target, so instrumented engines pay only the cost of building
+    the keyword dict and returning the shared context manager -- and they do
+    that at phase boundaries only, never inside integration loops.
+    """
+
+    enabled = False
+    spans: List[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def annotate(self, **attributes: Any) -> None:
+        return None
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,98 @@
+"""Unit tests for the plain-text table renderer used by every benchmark."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import (
+    format_value,
+    print_table,
+    render_comparison,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_booleans_render_as_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_floats_use_significant_digits(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(0.123456, precision=2) == "0.12"
+        assert format_value(3.0) == "3"
+
+    def test_large_and_small_floats_switch_to_compact_notation(self):
+        assert format_value(12345.678) == "1.235e+04"
+        assert format_value(0.000123456) == "0.0001235"
+        assert format_value(1e-7) == "1e-07"
+
+    def test_float_edge_cases(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(0.0) == "0"
+        assert format_value(-0.0) == "0"
+
+    def test_non_floats_fall_back_to_str(self):
+        assert format_value("fluid-batch") == "fluid-batch"
+        assert format_value(42) == "42"
+        assert format_value(None) == "None"
+
+
+class TestRenderTable:
+    def test_columns_align_and_separator_matches_widths(self):
+        text = render_table(
+            [
+                {"engine": "fluid-batch", "rate": 1234.5},
+                {"engine": "agents", "rate": 7.5},
+            ],
+            title="throughput",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "throughput"
+        header, separator, first, second = lines[1:]
+        assert header.split() == ["engine", "rate"]
+        assert set(separator) <= {"-", " "}
+        # Every row is padded to the same width, so columns line up.
+        assert len(header) == len(separator) == len(first) == len(second)
+        # 4 significant digits: 1234.5 renders as "1234", aligned under "rate".
+        assert first.index("1234") == header.index("rate")
+
+    def test_missing_keys_render_as_empty_cells(self):
+        text = render_table(
+            [
+                {"a": 1, "b": 2},
+                {"a": 3},
+            ]
+        )
+        last = text.splitlines()[-1]
+        assert last.split() == ["3"]
+
+    def test_columns_come_from_the_first_row_unless_given(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        assert "b" not in render_table(rows)
+        assert "b" in render_table(rows, columns=["a", "b"])
+
+    def test_empty_rows_render_placeholder(self):
+        assert render_table([]) == "(no rows)"
+        assert render_table([], title="t") == "t\n(no rows)"
+
+    def test_print_table_appends_blank_line(self, capsys):
+        print_table([{"x": 1}])
+        out = capsys.readouterr().out
+        assert out.endswith("\n\n")
+        assert "x" in out
+
+
+class TestRenderComparison:
+    def test_reports_ratio(self):
+        text = render_comparison("latency", predicted=2.0, measured=2.5)
+        assert "predicted=2" in text
+        assert "measured=2.5" in text
+        assert "measured/predicted=1.25" in text
+
+    def test_zero_prediction_omits_the_ratio(self):
+        text = render_comparison("gap", predicted=0.0, measured=0.5)
+        assert "measured/predicted" not in text
+
+    def test_note_is_appended_in_parentheses(self):
+        text = render_comparison("x", 1.0, 1.0, note="smoke run")
+        assert text.endswith("(smoke run)")

@@ -425,6 +425,73 @@ class TestPersistence:
         assert "seed" in header.split(",")
 
 
+class TestRunnerTelemetry:
+    """The runner's progress-event stream and sweep-level span."""
+
+    def collect_events(self, engine, cases=None, processes=None):
+        from repro.telemetry import telemetry_session
+
+        events = []
+        with telemetry_session(
+            progress=lambda name, attrs: events.append((name, dict(attrs)))
+        ) as tele:
+            run_cases(
+                cases if cases is not None else mixed_cases(),
+                convergence_row_builder(0.2, 0.1),
+                engine=engine,
+                processes=processes,
+            )
+        return events, tele
+
+    def test_serial_engine_emits_case_started_and_finished(self):
+        events, tele = self.collect_events("serial")
+        names = [name for name, _ in events]
+        assert names.count("case_started") == 4
+        assert names.count("case_finished") == 4
+        finished = next(attrs for name, attrs in events if name == "case_finished")
+        assert finished["seconds"] >= 0
+        assert "method" in finished and "update_period" in finished
+        # Case parameters ride along on the event attributes.
+        assert any(attrs.get("case") == 0 for _, attrs in events)
+        assert tele.metrics.counter("runner.cases_completed").value == 4
+
+    def test_batch_engine_reports_fusion_group_sizes(self):
+        events, tele = self.collect_events("batch")
+        fused = [attrs for name, attrs in events if name == "batch_fused"]
+        assert sorted(group["cases"] for group in fused) == [1, 1, 2]
+        assert all(group["method"] == "rk4" for group in fused)
+        histogram = tele.metrics.histogram("runner.batch_group_size")
+        assert histogram.count == 3
+        assert histogram.maximum == 2
+        # Every case still reports completion.
+        assert tele.metrics.counter("runner.cases_completed").value == 4
+
+    def test_processes_engine_records_pool_dispatch(self):
+        events, tele = self.collect_events("processes", processes=2)
+        dispatched = [attrs for name, attrs in events if name == "pool_dispatched"]
+        assert len(dispatched) == 1
+        assert dispatched[0]["cases"] == 4
+        assert dispatched[0]["processes"] == 2
+        assert tele.metrics.counter("runner.cases_completed").value == 4
+
+    def test_sweep_span_wraps_the_run(self):
+        _, tele = self.collect_events("serial")
+        sweeps = [r for r in tele.tracer.records() if r["name"] == "sweep"]
+        assert len(sweeps) == 1
+        assert sweeps[0]["attrs"] == {"cases": 4, "engine": "serial"}
+        # Every engine_run span nests under the sweep span.
+        runs = [r for r in tele.tracer.records() if r["name"] == "engine_run"]
+        assert runs and all(r["parent"] == sweeps[0]["id"] for r in runs)
+
+    def test_merge_metrics_adds_prefixed_columns_without_overwriting(self):
+        result = SweepResult()
+        result.append({"T": 0.1, "phases": 9, "tele_kept": "original"})
+        result.merge_metrics({"runner.cases_completed": 2.0, "kept": "new"})
+        row = result.rows[0]
+        assert row["tele_runner.cases_completed"] == 2.0
+        assert row["tele_kept"] == "original"
+
+
 class TestSweepCli:
     def test_parses_sweep_options(self):
         args = build_parser().parse_args(

@@ -1,0 +1,88 @@
+"""The ambient-session plumbing: install, restore, export, listeners."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+
+
+class TestAmbientSession:
+    def test_disabled_null_session_is_the_default(self):
+        tele = get_telemetry()
+        assert tele is NULL_TELEMETRY
+        assert not tele.enabled
+        # Every hook is inert out of the box.
+        with tele.span("engine_run", engine="x"):
+            tele.counter("c").add()
+            tele.event("e")
+        assert tele.metrics.flatten() == {}
+
+    def test_session_installs_and_restores(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        with telemetry_session() as session:
+            assert get_telemetry() is session
+            assert session.enabled
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_sessions_nest_and_restore_the_outer_one(self):
+        with telemetry_session() as outer:
+            with telemetry_session() as inner:
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer
+
+    def test_set_telemetry_none_restores_the_null_default(self):
+        previous = set_telemetry(Telemetry())
+        assert previous is NULL_TELEMETRY
+        set_telemetry(None)
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_trace_written_on_exit(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with telemetry_session(trace_path=path) as tele:
+            with tele.span("engine_run", engine="fluid-scalar"):
+                tele.counter("fluid.phases_integrated").add(4)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        assert any(line["kind"] == "span" for line in lines)
+        metrics = next(line for line in lines if line["kind"] == "metrics")
+        assert metrics["counters"]["fluid.phases_integrated"] == 4
+
+    def test_trace_written_even_when_the_block_raises(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with telemetry_session(trace_path=path) as tele:
+                tele.event("case_started")
+                raise RuntimeError("boom")
+        assert get_telemetry() is NULL_TELEMETRY
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(
+            line.get("name") == "case_started" for line in lines
+        ), "aborted runs keep their partial trace"
+
+    def test_progress_listener_sees_events_and_detaches_on_exit(self):
+        seen = []
+        with telemetry_session(progress=lambda name, attrs: seen.append((name, attrs))) as tele:
+            tele.event("case_finished", seconds=0.5)
+        assert seen == [("case_finished", {"seconds": 0.5})]
+        assert tele.listeners == []
+
+    def test_null_session_export_is_an_error(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            NULL_TELEMETRY.write_trace(tmp_path / "never.jsonl")
+
+    def test_shared_session_object_accumulates_across_blocks(self):
+        session = Telemetry()
+        with telemetry_session(telemetry=session) as tele:
+            tele.counter("runs").add()
+        with telemetry_session(telemetry=session) as tele:
+            tele.counter("runs").add()
+        assert session.metrics.counter("runs").value == 2

@@ -1,0 +1,170 @@
+"""Unit tests for the tracer and the metrics registry."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.telemetry import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+)
+
+
+class FakeClock:
+    """A deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_spans_nest_and_record_parentage(self):
+        tracer = Tracer()
+        with tracer.span("engine_run", engine="fluid-scalar") as run:
+            with tracer.span("phase", index=0) as phase:
+                tracer.event("bulletin_refresh", rows=3)
+            assert phase.span.parent_id == run.span.span_id
+        records = tracer.records()
+        names = [record["name"] for record in records]
+        assert names == ["engine_run", "phase", "bulletin_refresh"]
+        by_name = {record["name"]: record for record in records}
+        assert by_name["engine_run"]["parent"] is None
+        assert by_name["phase"]["parent"] == by_name["engine_run"]["id"]
+        assert by_name["bulletin_refresh"]["parent"] == by_name["phase"]["id"]
+        assert by_name["bulletin_refresh"]["kind"] == "event"
+        assert by_name["bulletin_refresh"]["attrs"] == {"rows": 3}
+
+    def test_imperative_close_is_equivalent_to_with(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("phase", index=1)
+        inner = tracer.span("integrate")
+        inner.close()
+        span.annotate(steps=20)
+        span.close()
+        records = {record["name"]: record for record in tracer.records()}
+        assert records["integrate"]["parent"] == records["phase"]["id"]
+        assert records["phase"]["attrs"] == {"index": 1, "steps": 20}
+        assert records["phase"]["dur"] > 0
+        # After both closes, new spans are roots again.
+        root = tracer.span("engine_run")
+        root.close()
+        assert tracer.records()[-1]["parent"] is None
+
+    def test_durations_come_from_the_injected_clock(self):
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("phase"):
+            pass
+        (record,) = tracer.records()
+        # Creation consumes one tick for the origin, the span start and end
+        # one each: dur == one clock step.
+        assert record["dur"] == 0.5
+        assert record["t1"] == record["t0"] + 0.5
+
+    def test_annotate_targets_the_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("engine_run"):
+            with tracer.span("phase"):
+                tracer.annotate(active_rows=7)
+        records = {record["name"]: record for record in tracer.records()}
+        assert records["phase"]["attrs"] == {"active_rows": 7}
+        assert "attrs" not in records["engine_run"]
+
+    def test_write_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("engine_run", engine="agents"):
+            tracer.event("stop_when_fired")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path, extra_records=[{"kind": "metrics", "counters": {}}])
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        assert lines[0]["schema"] == "repro-trace/1"
+        assert lines[0]["spans"] == 2
+        assert [line["kind"] for line in lines[1:]] == ["span", "event", "metrics"]
+
+    def test_null_tracer_is_inert(self):
+        context = NULL_TRACER.span("phase", index=0)
+        with context:
+            context.annotate(ignored=True)
+        context.close()
+        assert NULL_TRACER.event("x") is None
+        assert NULL_TRACER.records() == []
+        assert not NULL_TRACER.enabled
+        # The shared context is one singleton, so disabled spans allocate
+        # nothing per call.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestMetricsRegistry:
+    def test_instruments_create_on_first_use_and_persist(self):
+        registry = MetricsRegistry()
+        registry.counter("phases").add()
+        registry.counter("phases").add(2)
+        registry.gauge("paths").set(5)
+        registry.histogram("group_size").observe(4)
+        registry.histogram("group_size").observe(8)
+        registry.series_of("gap").append(0.0, 1.0)
+        registry.series_of("gap").append(1.0, 0.5)
+        assert registry.counter("phases").value == 3
+        assert registry.gauge("paths").value == 5.0
+        assert registry.histogram("group_size").mean == 6.0
+        assert registry.series_of("gap").points[-1] == (1.0, 0.5)
+
+    def test_flatten_expands_histograms_and_series(self):
+        registry = MetricsRegistry()
+        registry.counter("cg.columns_added").add(3)
+        registry.histogram("runner.batch_group_size").observe(16)
+        registry.series_of("fw.relative_gap").append(0.1, 0.02)
+        flat = registry.flatten(prefix="tele_")
+        assert flat["tele_cg.columns_added"] == 3
+        assert flat["tele_runner.batch_group_size_count"] == 1
+        assert flat["tele_runner.batch_group_size_mean"] == 16.0
+        assert flat["tele_runner.batch_group_size_max"] == 16.0
+        assert flat["tele_fw.relative_gap_points"] == 1
+        assert flat["tele_fw.relative_gap_last"] == 0.02
+
+    def test_empty_histogram_flattens_to_nan_not_inf(self):
+        registry = MetricsRegistry()
+        registry.histogram("unused")
+        flat = registry.flatten()
+        assert flat["unused_count"] == 0
+        assert math.isnan(flat["unused_mean"])
+        assert math.isnan(flat["unused_max"])
+
+    def test_rows_render_one_line_per_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").add()
+        registry.counter("a.count").add(2)
+        registry.gauge("g").set(1.5)
+        rows = registry.rows()
+        # Sorted within each instrument type, counters first.
+        assert [row["metric"] for row in rows] == ["a.count", "b.count", "g"]
+        assert rows[0] == {"metric": "a.count", "type": "counter", "value": 2.0}
+
+    def test_to_record_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").add()
+        registry.histogram("h").observe(2.0)
+        registry.series_of("s").append(0.0, 3.0)
+        record = registry.to_record()
+        assert record["kind"] == "metrics"
+        assert json.loads(json.dumps(record)) == json.loads(json.dumps(record))
+        assert record["histograms"]["h"]["count"] == 1
+        assert record["series"]["s"] == [(0.0, 3.0)]
+
+    def test_null_metrics_shares_one_inert_instrument(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
+        NULL_METRICS.counter("a").add(100)
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.series_of("s").append(0, 1)
+        assert NULL_METRICS.counter("a").value == 0.0
+        assert NULL_METRICS.flatten() == {}
+        assert NULL_METRICS.rows() == []

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.telemetry import NULL_TELEMETRY, get_telemetry
 
 
 class TestParser:
@@ -119,3 +122,77 @@ class TestCommands:
     def test_unknown_instance_raises(self):
         with pytest.raises(KeyError):
             main(["describe", "not-an-instance"])
+
+
+class TestTelemetryFlags:
+    def test_simulate_trace_writes_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "sim.jsonl"
+        assert main([
+            "simulate", "two-links", "--policy", "uniform", "--period", "0.2",
+            "--horizon", "2", "--trace", str(path),
+        ]) == 0
+        assert f"wrote trace {path}" in capsys.readouterr().out
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["schema"] == "repro-trace/1"
+        engines = [
+            line["attrs"]["engine"] for line in lines
+            if line.get("name") == "engine_run"
+        ]
+        assert engines == ["fluid-scalar"]
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_simulate_metrics_prints_table(self, capsys):
+        assert main([
+            "simulate", "two-links", "--policy", "uniform", "--period", "0.2",
+            "--horizon", "2", "--metrics",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "telemetry metrics" in output
+        assert "fluid.phases_integrated" in output
+
+    def test_sweep_trace_metrics_and_progress(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.jsonl"
+        csv_path = tmp_path / "sweep.csv"
+        assert main([
+            "sweep", "braess", "--policy", "uniform", "--periods", "0.2,0.4",
+            "--horizon", "2", "--steps-per-phase", "10",
+            "--trace", str(trace), "--metrics", "--progress",
+            "--csv", str(csv_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        # Progress events stream to stderr as they happen.
+        assert "[case_finished]" in captured.err
+        assert "telemetry metrics" in captured.out
+        # Flattened metrics merge into the persisted rows as tele_* columns.
+        header = csv_path.read_text().splitlines()[0]
+        assert "tele_runner.cases_completed" in header
+        assert trace.exists()
+
+    def test_report_renders_a_recorded_trace(self, capsys, tmp_path):
+        path = tmp_path / "sim.jsonl"
+        assert main([
+            "simulate", "two-links", "--policy", "uniform", "--period", "0.2",
+            "--horizon", "2", "--trace", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "engine runs" in output
+        assert "fluid-scalar" in output
+        assert "span breakdown" in output
+
+    def test_report_bench_renders_throughput_matrix(self, capsys, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text(json.dumps({
+            "schema": "repro-bench/1", "bench": "b", "section": "s",
+            "engine": "fluid-batch", "instance": "two-links",
+            "cases": 8, "seconds": 0.5, "rate": 16.0,
+        }) + "\n")
+        assert main(["report", str(path), "--bench"]) == 0
+        output = capsys.readouterr().out
+        assert "fluid-batch" in output
+        assert "two-links" in output
+
+    def test_report_missing_file_errors(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert capsys.readouterr().err
