@@ -1,0 +1,182 @@
+"""E12 -- the accelerated equilibrium solver suite on Sioux Falls.
+
+Two benchmark-backed acceptance bars for the solver suite:
+
+* **conjugate acceleration** -- plain, conjugate and biconjugate
+  Frank--Wolfe (``method="fw" | "cfw" | "bfw"``) race to relative duality
+  gap ``1e-4`` on the full Sioux Falls instance (528 OD pairs, edge space).
+  The conjugate methods must converge in at most **1/5** the plain-FW
+  iteration count -- the Mitradjieva--Lindberg direction correction removes
+  the vertex zig-zag that gives plain FW its ``1/k`` tail.
+* **warm-started tracking** -- :func:`repro.scenarios.interval_equilibria`
+  on the ``sioux-falls-incident`` preset, warm vs cold at equal tolerance:
+  seeding each interval's solve from the previous interval's equilibrium
+  must cut the summed solver iterations (consecutive environments are
+  close, so the seed starts deep inside the basin).
+
+Each timed solve emits a ``repro-bench/1`` record carrying ``method``,
+``gap`` and ``iterations``; ``repro report --bench`` pivots those records
+into the method x instance gap-vs-time matrix the CI job summary shows next
+to the throughput matrix.
+
+Run as a script (the CI smoke job does) or through pytest:
+
+    PYTHONPATH=src python benchmarks/bench_solvers.py --smoke
+    PYTHONPATH=src python -m pytest benchmarks/bench_solvers.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import print_table
+from repro.instances import sioux_falls_network
+from repro.largescale import ShortestPathOracle
+from repro.scenarios import get_scenario, interval_equilibria
+from repro.solvers import EDGE_METHODS, solve_edge_flow_equilibrium
+from repro.telemetry import telemetry_session
+from repro.telemetry.bench import bench_timer
+
+# The conjugate-acceleration bar: CFW/BFW must reach the race tolerance in
+# at most this fraction of the plain-FW iteration count.
+ACCELERATION_FACTOR = 5
+
+RACE_TOLERANCE = 1e-4
+SMOKE_RACE_TOLERANCE = 1e-3
+TRACKING_TOLERANCE = 1e-3
+TRACKING_HORIZON = 12.0
+
+
+def method_race(tolerance: float = RACE_TOLERANCE) -> List[dict]:
+    """Race fw/cfw/bfw to ``tolerance`` on Sioux Falls; one row per method."""
+    network = sioux_falls_network()
+    oracle = ShortestPathOracle.for_network(network)
+    rows = []
+    for method in EDGE_METHODS:
+        with bench_timer(
+            "bench_solvers", f"sioux-falls {method}",
+            engine=f"edge-{method}", instance="sioux-falls", cases=1,
+            method=method,
+        ) as timer:
+            result = solve_edge_flow_equilibrium(
+                network, tolerance=tolerance, oracle=oracle, method=method
+            )
+            # The record is emitted when the block exits; attaching the
+            # diagnostics here puts gap/iterations on the record the
+            # `repro report --bench` gap matrix pivots on.
+            timer.extra.update(gap=result.relative_gap, iterations=result.iterations)
+        rows.append(
+            {
+                "method": method,
+                "iterations": result.iterations,
+                "relative_gap": result.relative_gap,
+                "seconds": round(timer.seconds, 2),
+                "converged": result.converged,
+            }
+        )
+    return rows
+
+
+def warm_start_comparison(tolerance: float = TRACKING_TOLERANCE) -> List[dict]:
+    """Warm vs cold ``interval_equilibria`` on the incident preset."""
+    network = sioux_falls_network()
+    oracle = ShortestPathOracle.for_network(network)
+    scenario = get_scenario("sioux-falls-incident", network)
+    rows = []
+    for method in EDGE_METHODS:
+        totals = {}
+        for warm in (False, True):
+            label = "warm" if warm else "cold"
+            with bench_timer(
+                "bench_solvers", f"tracking {method} {label}",
+                engine=f"edge-{method}", instance="sioux-falls-incident",
+                cases=1, method=method, warm_start=warm,
+            ) as timer:
+                track = interval_equilibria(
+                    network, scenario, horizon=TRACKING_HORIZON, space="edge",
+                    tolerance=tolerance, oracle=oracle, cache={},
+                    method=method, warm_start=warm,
+                )
+                timer.extra.update(total_iterations=track.total_iterations)
+            totals[label] = track.total_iterations
+        rows.append(
+            {
+                "method": method,
+                "cold_iterations": totals["cold"],
+                "warm_iterations": totals["warm"],
+                "saved": totals["cold"] - totals["warm"],
+            }
+        )
+    return rows
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    race_tolerance = SMOKE_RACE_TOLERANCE if smoke else RACE_TOLERANCE
+    race = method_race(race_tolerance)
+    print_table(
+        race,
+        title=(
+            f"E12: solver method race on Sioux Falls "
+            f"(edge space, relative gap <= {race_tolerance:g})"
+        ),
+    )
+    warm = warm_start_comparison()
+    print_table(
+        warm,
+        title=(
+            "E12: warm vs cold interval_equilibria on sioux-falls-incident "
+            f"(tolerance {TRACKING_TOLERANCE:g}, summed solver iterations)"
+        ),
+    )
+    by_method = {row["method"]: row for row in race}
+    fw_iters = by_method["fw"]["iterations"]
+    for method in ("cfw", "bfw"):
+        speedup = fw_iters / by_method[method]["iterations"]
+        print(f"{method}: {by_method[method]['iterations']} iterations "
+              f"vs fw's {fw_iters} ({speedup:.1f}x fewer)")
+    return {"race": race, "race_tolerance": race_tolerance, "warm_start": warm}
+
+
+def test_conjugate_methods_accelerate():
+    """Pytest entry: CFW/BFW reach 1e-4 in <= 1/5 the plain-FW iterations."""
+    race = {row["method"]: row for row in method_race(RACE_TOLERANCE)}
+    assert all(row["converged"] for row in race.values())
+    assert all(row["relative_gap"] <= RACE_TOLERANCE for row in race.values())
+    fw_iters = race["fw"]["iterations"]
+    assert race["cfw"]["iterations"] * ACCELERATION_FACTOR <= fw_iters
+    assert race["bfw"]["iterations"] * ACCELERATION_FACTOR <= fw_iters
+
+
+def test_warm_start_cuts_tracking_iterations():
+    """Pytest entry: warm-started tracking does measurably less solver work."""
+    for row in warm_start_comparison(TRACKING_TOLERANCE):
+        assert row["warm_iterations"] < row["cold_iterations"], row
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="race to 1e-3 instead of 1e-4 (CI-friendly)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry session and write its JSONL trace here",
+    )
+    args = parser.parse_args(argv)
+    if args.trace is not None:
+        with telemetry_session(trace_path=args.trace):
+            run_benchmark(smoke=args.smoke)
+        print(f"wrote trace {args.trace}")
+    else:
+        run_benchmark(smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,7 +102,9 @@ def incident_scenarios(
     ]
 
 
-def run_benchmark(smoke: bool = False, scalar_rows: Optional[int] = None) -> dict:
+def run_benchmark(
+    smoke: bool = False, scalar_rows: Optional[int] = None, method: str = "fw"
+) -> dict:
     if smoke:
         max_od_pairs, batch = 20, 8
         horizon, period, steps = 12.0, 0.1, 5
@@ -163,16 +165,19 @@ def run_benchmark(smoke: bool = False, scalar_rows: Optional[int] = None) -> dic
     # cache solves exactly two edge-flow equilibria.
     cache: dict = {}
     rows = []
+    total_iterations = 0
     with bench_timer(
         "bench_tracking", "E11 ground truth",
-        engine="edge-fw", instance="sioux-falls-incident", cases=3,
+        engine=f"edge-{method}", instance="sioux-falls-incident", cases=3,
+        method=method,
     ) as tracking_timer:
         for row in (0, batch // 2, batch - 1):
             scenario = scenarios[row]
             track = interval_equilibria(
                 network, scenario, horizon=horizon, space="edge",
-                tolerance=1e-3, oracle=oracle, cache=cache,
+                tolerance=1e-3, oracle=oracle, cache=cache, method=method,
             )
+            total_iterations += track.total_iterations
             trajectory = result.trajectory(row)
             times, errors = tracking_error(trajectory, track)
             incident_start = float(starts[row])
@@ -215,6 +220,8 @@ def run_benchmark(smoke: bool = False, scalar_rows: Optional[int] = None) -> dic
         "scalar_seconds_full": round(scalar_seconds_full, 2),
         "speedup": round(speedup, 1),
         "equilibrium_solves": sum(1 for _ in cache),
+        "tracking_method": method,
+        "tracking_iterations": total_iterations,
         "tracking_seconds": round(tracking_seconds, 2),
         "tracking_rows": rows,
     }
@@ -225,8 +232,9 @@ def run_benchmark(smoke: bool = False, scalar_rows: Optional[int] = None) -> dic
     )
     print(
         f"bit-identical rows: {'yes' if exact else 'NO'}; "
-        f"ground truth: {summary['equilibrium_solves']} edge-FW solves "
-        f"(shared across rows) in {tracking_seconds:.2f}s"
+        f"ground truth: {summary['equilibrium_solves']} edge-flow solves "
+        f"({method}, {total_iterations} iterations, shared across rows) "
+        f"in {tracking_seconds:.2f}s"
     )
     return summary
 
@@ -264,6 +272,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="measure only this many scalar counterpart rows (extrapolated)",
     )
     parser.add_argument(
+        "--method",
+        choices=["fw", "cfw", "bfw"],
+        default="fw",
+        help="edge-space solver method for the ground-truth equilibria",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -272,10 +286,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.trace is not None:
         with telemetry_session(trace_path=args.trace):
-            run_benchmark(smoke=args.smoke, scalar_rows=args.scalar_rows)
+            run_benchmark(
+                smoke=args.smoke, scalar_rows=args.scalar_rows, method=args.method
+            )
         print(f"wrote trace {args.trace}")
     else:
-        run_benchmark(smoke=args.smoke, scalar_rows=args.scalar_rows)
+        run_benchmark(smoke=args.smoke, scalar_rows=args.scalar_rows, method=args.method)
     return 0
 
 

@@ -6,7 +6,8 @@ writing Python:
 * ``list-instances`` -- show the registered example networks,
 * ``describe``       -- print an instance's structure and theory constants
   (``D``, ``beta``, ``l_max``, the safe update period for the linear rule),
-* ``solve``          -- compute the Wardrop equilibrium with Frank--Wolfe,
+* ``solve``          -- compute the Wardrop equilibrium (``--method`` picks
+  plain/conjugate/biconjugate Frank--Wolfe or projection gradient),
 * ``simulate``       -- run a rerouting policy under bulletin-board staleness
   and report convergence / oscillation diagnostics,
 * ``sweep``          -- run a whole update-period sweep through the batched
@@ -84,7 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
     describe = subparsers.add_parser("describe", help="describe an instance and its theory constants")
     describe.add_argument("instance", help="registered instance name")
 
-    solve = subparsers.add_parser("solve", help="compute the Wardrop equilibrium (Frank--Wolfe)")
+    solve = subparsers.add_parser(
+        "solve", help="compute the Wardrop equilibrium (FW/CFW/BFW/PG)"
+    )
     solve.add_argument("instance", help="registered instance name")
     solve.add_argument(
         "--tolerance",
@@ -99,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve in edge-flow space via the shortest-path oracle (no path "
         "enumeration; the tolerance is then the relative duality gap "
         "TSTT/SPTT - 1) and report TSTT in raw TNTP units",
+    )
+    solve.add_argument(
+        "--method",
+        choices=["fw", "cfw", "bfw", "pg"],
+        default="fw",
+        help="solver method: fw (Frank--Wolfe, any space), cfw/bfw "
+        "(conjugate/biconjugate FW, edge space -- implies --edge-flow), pg "
+        "(path-based projection gradient, path space only)",
     )
 
     run = subparsers.add_parser("simulate", help="simulate a rerouting policy under staleness")
@@ -261,14 +272,24 @@ def _cmd_describe(instance: str) -> int:
     return 0
 
 
-def _cmd_solve(instance: str, tolerance: Optional[float], edge_flow: bool = False) -> int:
+def _cmd_solve(
+    instance: str,
+    tolerance: Optional[float],
+    edge_flow: bool = False,
+    method: str = "fw",
+) -> int:
     network = get_instance(instance)
+    if method in ("cfw", "bfw"):
+        edge_flow = True
+    elif method == "pg" and edge_flow:
+        print("error: --method pg is path-based; drop --edge-flow", file=sys.stderr)
+        return 2
     if edge_flow:
         return _cmd_solve_edge_flow(
-            instance, network, tolerance if tolerance is not None else 1e-4
+            instance, network, tolerance if tolerance is not None else 1e-4, method
         )
     result = solve_wardrop_equilibrium(
-        network, tolerance=tolerance if tolerance is not None else 1e-8
+        network, tolerance=tolerance if tolerance is not None else 1e-8, method=method
     )
     rows = [
         {
@@ -280,13 +301,13 @@ def _cmd_solve(instance: str, tolerance: Optional[float], edge_flow: bool = Fals
             network.paths.describe(), result.flow.values(), result.flow.path_latencies()
         )
     ]
-    print_table(rows, title=f"Wardrop equilibrium of {instance}")
+    print_table(rows, title=f"Wardrop equilibrium of {instance} ({result.method})")
     print(f"potential = {result.potential_value:.6g}, duality gap = {result.duality_gap:.3g}, "
           f"iterations = {result.iterations}, converged = {result.converged}")
     return 0
 
 
-def _cmd_solve_edge_flow(instance: str, network, tolerance: float) -> int:
+def _cmd_solve_edge_flow(instance: str, network, tolerance: float, method: str = "fw") -> int:
     """Solve in edge-flow space (no path enumeration) and print raw-unit TSTT.
 
     The instance's latencies act on normalised flow shares, so the solver's
@@ -299,7 +320,9 @@ def _cmd_solve_edge_flow(instance: str, network, tolerance: float) -> int:
     from .solvers import solve_edge_flow_equilibrium
 
     oracle = ShortestPathOracle.for_network(network)
-    result = solve_edge_flow_equilibrium(network, tolerance=tolerance, oracle=oracle)
+    result = solve_edge_flow_equilibrium(
+        network, tolerance=tolerance, oracle=oracle, method=method
+    )
     total = float(network.graph.graph.get("total_demand", 1.0))
     order = sorted(
         range(oracle.num_edges), key=lambda i: -result.edge_flows[i]
@@ -313,7 +336,10 @@ def _cmd_solve_edge_flow(instance: str, network, tolerance: float) -> int:
         }
         for i in order
     ]
-    print_table(rows, title=f"Edge-flow equilibrium of {instance} (10 most loaded links)")
+    print_table(
+        rows,
+        title=f"Edge-flow equilibrium of {instance} ({result.method}, 10 most loaded links)",
+    )
     print(f"TSTT (raw TNTP units)  = {result.tstt * total:.6g}")
     print(f"SPTT (raw TNTP units)  = {result.sptt * total:.6g}")
     print(f"relative duality gap   = {result.relative_gap:.3g}")
@@ -549,13 +575,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_report(path: str, bench: bool) -> int:
     if bench:
-        from .telemetry.bench import load_records, render_throughput_matrix
+        from .telemetry.bench import (
+            gap_matrix_rows,
+            load_records,
+            render_gap_matrix,
+            render_throughput_matrix,
+        )
 
         records = load_records(path)
         if not records:
             print(f"error: no repro-bench/1 records in {path}", file=sys.stderr)
             return 2
         print(render_throughput_matrix(records))
+        if gap_matrix_rows(records):
+            print()
+            print(render_gap_matrix(records))
         return 0
     from .telemetry.report import load_trace, render_trace_report
 
@@ -591,7 +625,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "describe":
         return _cmd_describe(args.instance)
     if args.command == "solve":
-        return _cmd_solve(args.instance, args.tolerance, args.edge_flow)
+        return _cmd_solve(args.instance, args.tolerance, args.edge_flow, args.method)
     if args.command == "simulate":
         return _cmd_simulate(
             args.instance, args.policy, args.period, args.horizon, args.fresh,

@@ -25,7 +25,18 @@ This module computes the ground truth and the three tracking metrics:
 
 Solving is cached by *modulation*: a 32-row incident-timing sweep whose rows
 share the same incident magnitude needs exactly two equilibrium solves
-(nominal and incident-active), not ``2 * 32``.
+(nominal and incident-active), not ``2 * 32``.  The cache key includes the
+identity of the base network (entries pin their network, so ids stay valid
+for the cache's lifetime): rows of a heterogeneous-coefficient family may
+share one cache without one network's equilibrium answering for another's.
+
+Ground-truth solves accept the accelerated methods of
+:mod:`repro.solvers.options` (``method="cfw"`` / ``"bfw"`` in edge space,
+``"pg"`` in path space) and *warm-start* by default: each interval's solve
+is seeded from the previous interval's equilibrium, which typically cuts the
+iteration count sharply because consecutive environments are close.
+``EquilibriumTrack.total_iterations`` reports the summed solver work, the
+quantity the warm-start acceptance benchmark pins.
 """
 
 from __future__ import annotations
@@ -39,6 +50,8 @@ from ..core.trajectory import Trajectory
 from ..largescale.shortest import ShortestPathOracle
 from ..solvers.edge_frank_wolfe import solve_edge_flow_equilibrium
 from ..solvers.frank_wolfe import solve_wardrop_equilibrium
+from ..solvers.options import check_method
+from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from .scenario import Modulation, Scenario
 
@@ -57,6 +70,8 @@ class IntervalEquilibrium:
     path space).  ``average_latency`` is the equilibrium's average latency in
     the interval's effective environment (normalised TSTT); ``potential`` is
     its Beckmann potential, the reference :func:`tracking_regret` subtracts.
+    ``iterations`` counts the solver iterations this entry cost (0 when it
+    came from the cache).
     """
 
     modulation: Modulation
@@ -65,6 +80,7 @@ class IntervalEquilibrium:
     average_latency: float
     potential: float
     converged: bool
+    iterations: int = 0
 
 
 @dataclass
@@ -82,6 +98,8 @@ class EquilibriumTrack:
     equilibria: List[IntervalEquilibrium]
     oracle: Optional[ShortestPathOracle] = None
     solves: int = field(default=0)
+    method: str = "fw"
+    total_iterations: int = field(default=0)
 
     def index_at(self, t: float) -> int:
         """Return the interval index containing time ``t``."""
@@ -98,9 +116,25 @@ def _solve_interval(
     space: str,
     tolerance: float,
     oracle: Optional[ShortestPathOracle],
+    method: str = "fw",
+    max_iterations: int = 2000,
+    seed: Optional[IntervalEquilibrium] = None,
 ) -> IntervalEquilibrium:
+    """Solve one interval's equilibrium, optionally seeded from ``seed``.
+
+    ``seed`` is the previous interval's equilibrium: demands never change
+    across intervals (scenarios modulate latencies, not commodity demands),
+    so the previous solution is feasible in the new environment and usually
+    very close to its equilibrium.
+    """
     if space == "path":
-        result = solve_wardrop_equilibrium(effective, tolerance=tolerance)
+        initial = None
+        if seed is not None and seed.flow_values is not None:
+            initial = FlowVector(effective, seed.flow_values, validate=False)
+        result = solve_wardrop_equilibrium(
+            effective, tolerance=tolerance, max_iterations=max_iterations,
+            initial=initial, method=method,
+        )
         return IntervalEquilibrium(
             modulation=modulation,
             flow_values=result.flow.values(),
@@ -108,8 +142,13 @@ def _solve_interval(
             average_latency=float(result.flow.average_latency()),
             potential=float(result.potential_value),
             converged=result.converged,
+            iterations=result.iterations,
         )
-    result = solve_edge_flow_equilibrium(effective, tolerance=tolerance, oracle=oracle)
+    initial_edge_flows = seed.edge_flows if seed is not None else None
+    result = solve_edge_flow_equilibrium(
+        effective, tolerance=tolerance, max_iterations=max_iterations,
+        oracle=oracle, initial_edge_flows=initial_edge_flows, method=method,
+    )
     return IntervalEquilibrium(
         modulation=modulation,
         flow_values=None,
@@ -117,6 +156,7 @@ def _solve_interval(
         average_latency=float(result.tstt),
         potential=float(result.potential_value),
         converged=result.converged,
+        iterations=result.iterations,
     )
 
 
@@ -129,6 +169,9 @@ def interval_equilibria(
     sample_every: Optional[float] = None,
     oracle: Optional[ShortestPathOracle] = None,
     cache: Optional[Dict] = None,
+    method: str = "fw",
+    warm_start: bool = True,
+    max_iterations: int = 2000,
 ) -> EquilibriumTrack:
     """Solve the instantaneous equilibrium of every scenario interval.
 
@@ -139,8 +182,8 @@ def interval_equilibria(
     scenario / horizon:
         The nonstationary environment and the time range ``[0, horizon)``.
     space:
-        ``"path"`` (path-based Frank--Wolfe on the enumerated path set),
-        ``"edge"`` (oracle-driven edge-flow Frank--Wolfe over the full graph)
+        ``"path"`` (path-based solvers on the enumerated path set),
+        ``"edge"`` (oracle-driven edge-flow solvers over the full graph)
         or ``"auto"`` (path space up to :data:`AUTO_PATH_SPACE_LIMIT` paths).
     sample_every:
         Optional extra grid spacing: continuous profiles (piecewise-linear
@@ -151,9 +194,22 @@ def interval_equilibria(
         rows by the benchmark.
     cache:
         Optional dict shared across calls: equilibria are memoised by
-        ``(modulation, space, tolerance)``, so sweeps whose rows revisit the
-        same environment states (e.g. the same incident at different times)
-        solve each distinct state once.
+        ``(network identity, modulation, space, tolerance, method)``, so
+        sweeps whose rows revisit the same environment states (e.g. the same
+        incident at different times) solve each distinct state once.  Each
+        entry stores its network alongside the equilibrium, pinning the
+        object so its id stays valid for the cache's lifetime.
+    method:
+        Solver method for every interval: ``"fw"`` / ``"cfw"`` / ``"bfw"``
+        in edge space, ``"fw"`` / ``"pg"`` in path space (validated after
+        ``"auto"`` resolution).
+    warm_start:
+        Seed each cache-missing solve from the previous interval's
+        equilibrium (default).  Demands are interval-invariant, so the seed
+        is always feasible; ``False`` forces cold starts (the baseline the
+        warm-start benchmark compares against).
+    max_iterations:
+        Per-interval solver iteration budget.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
@@ -161,6 +217,7 @@ def interval_equilibria(
         space = "path" if network.num_paths <= AUTO_PATH_SPACE_LIMIT else "edge"
     if space not in ("path", "edge"):
         raise ValueError(f"unknown tracking space {space!r}; use 'path', 'edge' or 'auto'")
+    check_method(method, space)
     if space == "edge" and oracle is None:
         oracle = ShortestPathOracle.for_network(network)
     times = {0.0}
@@ -173,16 +230,24 @@ def interval_equilibria(
     cache = cache if cache is not None else {}
     equilibria: List[IntervalEquilibrium] = []
     solves = 0
+    total_iterations = 0
     for t in ordered:
         modulation = scenario.modulation_at(float(t))
-        key = (modulation, space, tolerance)
+        key = (id(network), modulation, space, tolerance, method)
         entry = cache.get(key)
         if entry is None:
             effective = scenario.network_at(network, float(t))
-            entry = _solve_interval(network, effective, modulation, space, tolerance, oracle)
-            cache[key] = entry
+            seed = equilibria[-1] if warm_start and equilibria else None
+            equilibrium = _solve_interval(
+                network, effective, modulation, space, tolerance, oracle,
+                method=method, max_iterations=max_iterations, seed=seed,
+            )
+            cache[key] = (network, equilibrium)
             solves += 1
-        equilibria.append(entry)
+            total_iterations += equilibrium.iterations
+        else:
+            _, equilibrium = entry
+        equilibria.append(equilibrium)
     return EquilibriumTrack(
         network=network,
         scenario=scenario,
@@ -191,6 +256,8 @@ def interval_equilibria(
         equilibria=equilibria,
         oracle=oracle,
         solves=solves,
+        method=method,
+        total_iterations=total_iterations,
     )
 
 

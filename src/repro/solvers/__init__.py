@@ -2,8 +2,16 @@
 
 The adaptive rerouting policies of the paper converge to Wardrop equilibria;
 these solvers compute the same equilibria by classical convex optimisation
-(Frank--Wolfe on the Beckmann potential) or exactly (water-filling for
-parallel links) so that the dynamics can be validated against them.
+so that the dynamics can be validated against them.  Two interfaces, four
+interchangeable methods (see :mod:`repro.solvers.options` for the table):
+
+* **path space** (enumerable instances): classical Frank--Wolfe on the
+  Beckmann potential (``method="fw"``) and path-based projection gradient
+  (``method="pg"``), both through :func:`solve_wardrop_equilibrium`;
+* **edge space** (road networks, no path enumeration): plain, conjugate and
+  biconjugate Frank--Wolfe (``method="fw" | "cfw" | "bfw"``) through
+  :func:`solve_edge_flow_equilibrium`;
+* **exact**: water-filling for parallel links.
 """
 
 from .edge_frank_wolfe import (
@@ -20,13 +28,20 @@ from .frank_wolfe import (
     solve_wardrop_equilibrium,
 )
 from .line_search import bisection_root, golden_section_minimise
+from .options import ALL_METHODS, EDGE_METHODS, PATH_METHODS, SolverOptions, check_method
 from .parallel_links import equilibrium_latency_level, solve_parallel_links
+from .projection_gradient import solve_path_projection_gradient
 
 __all__ = [
+    "ALL_METHODS",
+    "EDGE_METHODS",
     "EdgeEquilibriumResult",
     "EquilibriumResult",
+    "PATH_METHODS",
+    "SolverOptions",
     "all_or_nothing_flow",
     "bisection_root",
+    "check_method",
     "duality_gap",
     "edge_potential",
     "equilibrium_latency_level",
@@ -35,5 +50,6 @@ __all__ = [
     "relative_duality_gap",
     "solve_edge_flow_equilibrium",
     "solve_parallel_links",
+    "solve_path_projection_gradient",
     "solve_wardrop_equilibrium",
 ]

@@ -31,6 +31,7 @@ from ..wardrop.flow import FlowVector
 from ..wardrop.network import WardropNetwork
 from ..wardrop.potential import potential
 from .line_search import bisection_root
+from .options import check_method
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,8 @@ class EquilibriumResult:
         Whether the duality-gap tolerance was met before the iteration cap.
     gap_history:
         The duality gap after every iteration (useful for diagnostics).
+    method:
+        The algorithm that produced the result (``fw`` or ``pg``).
     """
 
     flow: FlowVector
@@ -60,6 +63,7 @@ class EquilibriumResult:
     iterations: int
     converged: bool
     gap_history: List[float]
+    method: str = "fw"
 
 
 def all_or_nothing_flow(network: WardropNetwork, path_latencies: np.ndarray) -> np.ndarray:
@@ -89,8 +93,9 @@ def solve_wardrop_equilibrium(
     tolerance: float = 1e-8,
     max_iterations: int = 2000,
     initial: Optional[FlowVector] = None,
+    method: str = "fw",
 ) -> EquilibriumResult:
-    """Compute a Wardrop equilibrium of ``network`` by Frank--Wolfe.
+    """Compute a Wardrop equilibrium of ``network`` in path space.
 
     Parameters
     ----------
@@ -101,9 +106,23 @@ def solve_wardrop_equilibrium(
     max_iterations:
         Iteration cap; the result reports whether it was hit.
     initial:
-        Optional warm-start flow; defaults to the uniform split.
+        Optional warm-start flow; defaults to the uniform split.  The check
+        is an explicit ``is None`` -- a warm start is honoured even when its
+        truthiness is degenerate (``FlowVector.__len__`` makes empty vectors
+        falsy, which an ``or`` default would silently drop).
+    method:
+        ``"fw"`` (classical Frank--Wolfe, the default) or ``"pg"``
+        (path-based projection gradient, dispatched to
+        :func:`~repro.solvers.projection_gradient.solve_path_projection_gradient`).
     """
-    flow = (initial or FlowVector.uniform(network)).values()
+    check_method(method, "path")
+    if method == "pg":
+        from .projection_gradient import solve_path_projection_gradient
+
+        return solve_path_projection_gradient(
+            network, tolerance=tolerance, max_iterations=max_iterations, initial=initial
+        )
+    flow = (FlowVector.uniform(network) if initial is None else initial).values()
     gap_history: List[float] = []
     converged = False
     iterations = 0

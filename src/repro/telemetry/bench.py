@@ -44,6 +44,8 @@ __all__ = [
     "load_records",
     "throughput_matrix_rows",
     "render_throughput_matrix",
+    "gap_matrix_rows",
+    "render_gap_matrix",
 ]
 
 BENCH_SCHEMA = "repro-bench/1"
@@ -186,6 +188,57 @@ def render_throughput_matrix(
     if not rows:
         return f"{title}\n(no bench records)"
     columns = ["engine"]
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return render_table(rows, columns=columns, title=title)
+
+
+def gap_matrix_rows(records: Sequence[Dict[str, Any]]) -> List[Dict[str, object]]:
+    """Pivot solver records into a method x instance gap-vs-time matrix.
+
+    Solver benchmarks (``bench_solvers``, the tracking ground truth) emit
+    records carrying ``method``, ``gap`` and ``seconds``; each cell reports
+    the best (smallest) relative gap that method reached on that instance
+    and the wall time of that run, as ``gap @ seconds``.  Records without a
+    ``method`` or ``gap`` field (throughput records) are skipped.
+    """
+    instances: List[str] = []
+    best: Dict[str, Dict[str, tuple]] = {}
+    for record in records:
+        method = record.get("method")
+        gap = record.get("gap")
+        if method is None or gap is None or gap != gap:
+            continue
+        instance = str(record.get("instance", "-"))
+        seconds = float(record.get("seconds", float("nan")))
+        if instance not in instances:
+            instances.append(instance)
+        row = best.setdefault(str(method), {})
+        current = row.get(instance)
+        if current is None or float(gap) < current[0]:
+            row[instance] = (float(gap), seconds)
+    rows: List[Dict[str, object]] = []
+    for method in sorted(best):
+        row: Dict[str, object] = {"method": method}
+        for instance in instances:
+            if instance in best[method]:
+                gap, seconds = best[method][instance]
+                row[instance] = f"{gap:.2e} @ {seconds:.2f}s"
+        rows.append(row)
+    return rows
+
+
+def render_gap_matrix(
+    records: Sequence[Dict[str, Any]],
+    title: str = "method x instance relative gap (best gap @ wall time)",
+) -> str:
+    """Render the solver gap matrix as an aligned table."""
+    rows = gap_matrix_rows(records)
+    if not rows:
+        return f"{title}\n(no solver records)"
+    columns = ["method"]
     for row in rows:
         for key in row:
             if key not in columns:

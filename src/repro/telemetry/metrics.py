@@ -80,15 +80,25 @@ class Histogram:
 
 
 class Series:
-    """An append-only ``(x, y)`` trajectory (e.g. duality gap vs time)."""
+    """An append-only ``(x, y)`` trajectory (e.g. duality gap vs time).
 
-    __slots__ = ("points",)
+    A series may carry attributes (``annotate(method="cfw")``): small
+    key/value facts about how the points were produced, exported alongside
+    the points in the trace snapshot.  Re-annotating overwrites per key, so
+    the attributes describe the most recent producer.
+    """
+
+    __slots__ = ("points", "attrs")
 
     def __init__(self) -> None:
         self.points: List[Tuple[float, float]] = []
+        self.attrs: Dict[str, Any] = {}
 
     def append(self, x: float, y: float) -> None:
         self.points.append((float(x), float(y)))
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -202,6 +212,9 @@ class MetricsRegistry:
                 for name, h in self.histograms.items()
             },
             "series": {name: s.points for name, s in self.series.items()},
+            "series_attrs": {
+                name: dict(s.attrs) for name, s in self.series.items() if s.attrs
+            },
         }
 
 
@@ -224,6 +237,9 @@ class _NullInstrument:
         pass
 
     def append(self, x: float, y: float) -> None:
+        pass
+
+    def annotate(self, **attrs: Any) -> None:
         pass
 
 

@@ -51,6 +51,84 @@ class TestIntervalEquilibria:
         # the first row, zero fresh solves afterwards.
         assert solves == [2, 0, 0]
 
+    def test_cache_distinguishes_networks(self):
+        # Regression: the cache key used to be (modulation, space, tolerance)
+        # only, so two *different* networks sharing one cache dict would
+        # silently reuse each other's equilibria.  The key must carry the
+        # network's identity.
+        cache = {}
+        linear = pigou_network(degree=1)
+        quadratic = pigou_network(degree=2)
+        track_linear = interval_equilibria(
+            linear, demand_step_scenario(), horizon=8.0, cache=cache
+        )
+        track_quadratic = interval_equilibria(
+            quadratic, demand_step_scenario(), horizon=8.0, cache=cache
+        )
+        # The second network must not be answered from the first one's cache:
+        assert track_linear.solves == 2
+        assert track_quadratic.solves == 2
+        # ...and the equilibria are genuinely the two instances' own: both
+        # saturate the nonlinear link, but its Beckmann potential differs
+        # (integral of x vs x^2).
+        assert (
+            abs(
+                track_linear.equilibria[0].potential
+                - track_quadratic.equilibria[0].potential
+            )
+            > 0.05
+        )
+
+    def test_warm_start_and_method_are_threaded(self):
+        network = braess_network()
+        scenario = Scenario(
+            incidents=[
+                LinkIncident(("a", "b", 0), 3.0, 6.0, capacity_factor=0.0, closure_penalty=10.0)
+            ]
+        )
+        cold = interval_equilibria(
+            network, scenario, horizon=10.0, space="edge", tolerance=1e-6,
+            warm_start=False,
+        )
+        warm = interval_equilibria(
+            network, scenario, horizon=10.0, space="edge", tolerance=1e-6,
+        )
+        # Warm starting changes the iterates, never the answer.  (Whether it
+        # *saves* iterations depends on the instance -- the Sioux Falls
+        # acceptance benchmark in bench_solvers.py pins the saving.)
+        assert cold.total_iterations > 0
+        assert warm.total_iterations > 0
+        for a, b in zip(cold.equilibria, warm.equilibria):
+            assert a.converged and b.converged
+            assert a.potential == pytest.approx(b.potential, abs=1e-6)
+        accelerated = interval_equilibria(
+            network, scenario, horizon=10.0, space="edge", tolerance=1e-6,
+            method="bfw",
+        )
+        assert accelerated.method == "bfw"
+        assert accelerated.equilibria[0].potential == pytest.approx(
+            warm.equilibria[0].potential, abs=1e-6
+        )
+        # The per-interval iteration budget is honoured.
+        budgeted = interval_equilibria(
+            network, scenario, horizon=10.0, space="edge", tolerance=1e-12,
+            max_iterations=2,
+        )
+        assert all(entry.iterations <= 2 for entry in budgeted.equilibria)
+
+    def test_method_is_validated_against_the_resolved_space(self):
+        network = braess_network()
+        with pytest.raises(ValueError, match="pg"):
+            interval_equilibria(
+                network, demand_step_scenario(), horizon=8.0, space="edge",
+                method="pg",
+            )
+        with pytest.raises(ValueError, match="bfw"):
+            interval_equilibria(
+                network, demand_step_scenario(), horizon=8.0, space="path",
+                method="bfw",
+            )
+
     def test_edge_space_on_request(self):
         network = braess_network()
         track = interval_equilibria(
@@ -132,3 +210,39 @@ class TestMetrics:
         assert track.equilibria[0].average_latency == pytest.approx(2.0, abs=1e-3)
         assert track.equilibria[1].average_latency == pytest.approx(1.5, abs=1e-3)
         assert track.equilibria[2].average_latency == pytest.approx(2.0, abs=1e-3)
+
+
+class TestMetricEdgeCases:
+    def test_reequilibration_on_empty_samples_never_recovers(self):
+        assert time_to_reequilibrate(
+            np.array([]), np.array([]), 0.0, tolerance=1.0
+        ) == float("inf")
+
+    def test_reequilibration_on_a_singleton_sample(self):
+        times = np.array([5.0])
+        assert time_to_reequilibrate(times, np.array([0.0]), 5.0, 0.1) == 0.0
+        assert time_to_reequilibrate(times, np.array([0.5]), 5.0, 0.1) == float("inf")
+
+    def test_reequilibration_breakpoint_past_the_recorded_range(self):
+        times = np.arange(0.0, 5.0, 0.5)
+        errors = np.zeros_like(times)
+        assert time_to_reequilibrate(times, errors, 10.0, 0.1) == float("inf")
+
+    def test_reequilibration_when_the_error_never_recovers(self):
+        times = np.arange(0.0, 5.0, 0.5)
+        errors = np.full_like(times, 2.0)
+        assert time_to_reequilibrate(times, errors, 1.0, tolerance=1.0) == float("inf")
+
+    def test_regret_of_empty_and_singleton_trajectories_is_zero(self):
+        from repro.core.trajectory import Trajectory
+        from repro.wardrop.flow import FlowVector
+
+        network = pigou_network(degree=1)
+        scenario = demand_step_scenario()
+        track = interval_equilibria(network, scenario, horizon=8.0)
+        empty = Trajectory(network=network, policy_name="none", update_period=0.5)
+        assert tracking_regret(empty, track) == 0.0
+        singleton = Trajectory(network=network, policy_name="one", update_period=0.5)
+        singleton.record(0.0, FlowVector.uniform(network), 0)
+        # One sample spans no time, so the trapezoid integral is empty.
+        assert tracking_regret(singleton, track) == 0.0

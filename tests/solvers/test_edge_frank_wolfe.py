@@ -6,6 +6,7 @@ import pytest
 from repro.instances import braess_network, grid_network, pigou_network
 from repro.largescale import ShortestPathOracle
 from repro.solvers import (
+    relative_duality_gap,
     solve_edge_flow_equilibrium,
     solve_wardrop_equilibrium,
 )
@@ -65,3 +66,54 @@ def test_dijkstra_rejects_negative_costs():
     oracle = ShortestPathOracle(network.graph, network.commodities)
     with pytest.raises(ValueError, match="non-negative"):
         oracle.all_or_nothing(-np.ones(oracle.num_edges))
+
+
+def test_cap_exit_diagnostics_describe_the_returned_flows():
+    # Regression: on an iteration-cap exit the loop's last gap measured the
+    # *pre-step* iterate while the caller received the post-step flows, so
+    # unconverged results reported stale diagnostics.  The certificate must
+    # be recomputed from the returned flows.
+    network = grid_network(3, 3, num_commodities=2, seed=3)
+    oracle = ShortestPathOracle(network.graph, network.commodities)
+    result = solve_edge_flow_equilibrium(
+        network, tolerance=1e-12, max_iterations=3, oracle=oracle
+    )
+    assert not result.converged
+    assert result.relative_gap == pytest.approx(
+        relative_duality_gap(network, oracle, result.edge_flows), rel=1e-12, abs=0.0
+    )
+    # The recomputed certificate is appended to the history: one trailing
+    # entry beyond the per-iteration gaps.
+    assert len(result.gap_history) == result.iterations + 1
+    assert result.gap_history[-1] == pytest.approx(result.relative_gap)
+    # TSTT/SPTT describe the same (returned) flows.
+    costs = oracle.latency_costs(network, result.edge_flows)
+    assert result.tstt == pytest.approx(float(np.dot(costs, result.edge_flows)))
+    assert result.relative_gap == pytest.approx(result.tstt / result.sptt - 1.0)
+
+
+@pytest.mark.parametrize("method", ["cfw", "bfw"])
+def test_conjugate_methods_reach_the_same_equilibrium(method):
+    network = grid_network(3, 3, num_commodities=2, seed=3)
+    oracle = ShortestPathOracle(network.graph, network.commodities)
+    plain = solve_edge_flow_equilibrium(network, tolerance=1e-10, oracle=oracle)
+    accelerated = solve_edge_flow_equilibrium(
+        network, tolerance=1e-10, oracle=oracle, method=method
+    )
+    assert accelerated.converged
+    assert accelerated.method == method
+    assert np.abs(accelerated.edge_flows - plain.edge_flows).max() < 1e-5
+    assert accelerated.potential_value == pytest.approx(
+        plain.potential_value, abs=1e-9
+    )
+    # The conjugate direction correction must never be slower than plain FW
+    # on this instance (the 5x Sioux Falls bar lives in bench_solvers.py).
+    assert accelerated.iterations <= plain.iterations
+
+
+def test_edge_solver_rejects_path_space_methods():
+    network = braess_network()
+    with pytest.raises(ValueError, match="pg"):
+        solve_edge_flow_equilibrium(network, method="pg")
+    with pytest.raises(ValueError, match="newton"):
+        solve_edge_flow_equilibrium(network, method="newton")

@@ -81,6 +81,39 @@ class TestSolver:
         assert result.converged
         assert result.iterations <= 3
 
+    def test_warm_start_at_the_equilibrium_is_exact(self):
+        # Started exactly at the equilibrium, the very first duality-gap
+        # check certifies convergence: no solver iteration moves the flow.
+        network = pigou_network(degree=2)
+        equilibrium = solve_wardrop_equilibrium(network, tolerance=1e-10).flow
+        for method in ("fw", "pg"):
+            result = solve_wardrop_equilibrium(
+                network, tolerance=1e-8, initial=equilibrium, method=method
+            )
+            assert result.converged
+            assert result.iterations == 1
+            assert np.allclose(result.flow.values(), equilibrium.values(), atol=1e-9)
+
+    def test_warm_start_survives_degenerate_truthiness(self):
+        # Regression: the warm start used to be dropped by `initial or
+        # uniform` whenever the FlowVector's __len__-based truthiness was
+        # falsy.  The check must be an explicit `is None`.
+        network = pigou_network(degree=2)
+        equilibrium = solve_wardrop_equilibrium(network, tolerance=1e-10).flow
+
+        class _LenZeroFlow(FlowVector):
+            def __len__(self):
+                return 0
+
+        warm = _LenZeroFlow(network, equilibrium.values())
+        assert not warm  # the degenerate truthiness the `or` would trip on
+        result = solve_wardrop_equilibrium(network, tolerance=1e-8, initial=warm)
+        assert result.iterations == 1
+
+    def test_rejects_edge_space_methods(self):
+        with pytest.raises(ValueError, match="cfw"):
+            solve_wardrop_equilibrium(pigou_network(degree=1), method="cfw")
+
     def test_potential_at_solution_is_minimal(self):
         network = heterogeneous_affine_links(4, seed=9)
         result = solve_wardrop_equilibrium(network, tolerance=1e-10)

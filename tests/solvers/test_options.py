@@ -1,0 +1,55 @@
+"""SolverOptions and the method dispatch table."""
+
+import pytest
+
+from repro.solvers import (
+    ALL_METHODS,
+    EDGE_METHODS,
+    PATH_METHODS,
+    SolverOptions,
+    check_method,
+)
+
+
+class TestCheckMethod:
+    def test_accepts_every_listed_combination(self):
+        for method in EDGE_METHODS:
+            assert check_method(method, "edge") == method
+        for method in PATH_METHODS:
+            assert check_method(method, "path") == method
+
+    def test_rejects_cross_space_methods(self):
+        with pytest.raises(ValueError, match="edge-space"):
+            check_method("pg", "edge")
+        with pytest.raises(ValueError, match="path-space"):
+            check_method("cfw", "path")
+        with pytest.raises(ValueError, match="path-space"):
+            check_method("bfw", "path")
+
+    def test_rejects_unknown_methods(self):
+        with pytest.raises(ValueError, match="newton"):
+            check_method("newton", "edge")
+
+
+class TestSolverOptions:
+    def test_defaults(self):
+        options = SolverOptions()
+        assert options.method == "fw"
+        assert options.tolerance is None
+        assert options.warm_start
+        assert options.tolerance_or(1e-6) == 1e-6
+
+    def test_explicit_tolerance_wins(self):
+        assert SolverOptions(tolerance=1e-3).tolerance_or(1e-6) == 1e-3
+
+    def test_every_method_is_constructible(self):
+        for method in ALL_METHODS:
+            assert SolverOptions(method=method).method == method
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown solver method"):
+            SolverOptions(method="gradient-descent")
+        with pytest.raises(ValueError, match="max_iterations"):
+            SolverOptions(max_iterations=0)
+        with pytest.raises(ValueError, match="tolerance"):
+            SolverOptions(tolerance=0.0)

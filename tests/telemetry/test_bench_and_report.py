@@ -15,7 +15,9 @@ from repro.telemetry.bench import (
     bench_timer,
     clear_records,
     collected_records,
+    gap_matrix_rows,
     load_records,
+    render_gap_matrix,
     render_throughput_matrix,
     throughput_matrix_rows,
 )
@@ -107,6 +109,33 @@ class TestThroughputMatrix:
 
     def test_render_empty_records(self):
         assert "(no bench records)" in render_throughput_matrix([])
+
+
+class TestGapMatrix:
+    def test_best_gap_wins_per_cell_and_throughput_records_are_skipped(self):
+        records = [
+            {"method": "fw", "instance": "sioux-falls", "gap": 9e-5, "seconds": 4.5},
+            {"method": "fw", "instance": "sioux-falls", "gap": 5e-5, "seconds": 6.0},
+            {"method": "bfw", "instance": "sioux-falls", "gap": 8e-5, "seconds": 0.7},
+            # throughput-only record: no method/gap, never a gap-matrix cell
+            {"engine": "fluid-batch", "instance": "two-links", "rate": 100.0},
+        ]
+        rows = gap_matrix_rows(records)
+        by_method = {row["method"]: row for row in rows}
+        assert set(by_method) == {"fw", "bfw"}
+        assert by_method["fw"]["sioux-falls"] == "5.00e-05 @ 6.00s"
+        assert by_method["bfw"]["sioux-falls"] == "8.00e-05 @ 0.70s"
+
+    def test_render_gap_matrix(self):
+        text = render_gap_matrix(
+            [{"method": "cfw", "instance": "sioux-falls", "gap": 1e-4, "seconds": 1.0}]
+        )
+        assert "cfw" in text and "sioux-falls" in text
+        assert "(no solver records)" in render_gap_matrix([])
+        # Records without solver fields alone also render the empty note.
+        assert "(no solver records)" in render_gap_matrix(
+            [{"engine": "a", "instance": "x", "rate": 1.0}]
+        )
 
 
 class TestTraceReport:

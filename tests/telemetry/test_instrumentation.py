@@ -162,3 +162,17 @@ class TestEdgeFrankWolfe:
         times = [x for x, _ in series.points]
         assert times == sorted(times)
         assert series.points[-1][1] == pytest.approx(traced.relative_gap)
+        # The series is annotated with the solver method that produced it.
+        assert series.attrs["method"] == "fw"
+
+    def test_gap_series_carries_the_accelerated_method(self):
+        network = sioux_falls_network(max_od_pairs=10)
+        oracle = ShortestPathOracle.for_network(network)
+        with telemetry_session() as tele:
+            traced = solve_edge_flow_equilibrium(
+                network, tolerance=1e-3, oracle=oracle, method="bfw"
+            )
+        assert traced.method == "bfw"
+        (run,) = engine_runs(tele)
+        assert run["attrs"]["method"] == "bfw"
+        assert tele.metrics.series_of("fw.relative_gap").attrs["method"] == "bfw"

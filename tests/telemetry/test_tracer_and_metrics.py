@@ -160,6 +160,21 @@ class TestMetricsRegistry:
         assert record["histograms"]["h"]["count"] == 1
         assert record["series"]["s"] == [(0.0, 3.0)]
 
+    def test_series_attributes_export_without_touching_the_points(self):
+        registry = MetricsRegistry()
+        registry.series_of("gap").append(0.0, 1.0)
+        registry.series_of("gap").annotate(method="cfw")
+        registry.series_of("gap").annotate(method="bfw", instance="sioux-falls")
+        registry.series_of("bare").append(0.0, 2.0)
+        record = registry.to_record()
+        # Re-annotation overwrites per key; unannotated series stay out.
+        assert record["series_attrs"] == {
+            "gap": {"method": "bfw", "instance": "sioux-falls"}
+        }
+        # The points payload keeps its original schema.
+        assert record["series"]["gap"] == [(0.0, 1.0)]
+        assert json.loads(json.dumps(record)) == json.loads(json.dumps(record))
+
     def test_null_metrics_shares_one_inert_instrument(self):
         assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
         NULL_METRICS.counter("a").add(100)

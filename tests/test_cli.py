@@ -52,6 +52,22 @@ class TestCommands:
         assert "iterations = 2000" in output
         assert "converged = False" in output
 
+    def test_solve_with_projection_gradient(self, capsys):
+        assert main(["solve", "pigou-linear", "--method", "pg"]) == 0
+        output = capsys.readouterr().out
+        assert "(pg)" in output
+        assert "duality gap" in output
+
+    def test_solve_conjugate_method_implies_edge_flow(self, capsys):
+        assert main(["solve", "sioux-falls-mini", "--method", "bfw"]) == 0
+        output = capsys.readouterr().out
+        assert "Edge-flow equilibrium" in output
+        assert "(bfw" in output
+
+    def test_solve_rejects_pg_with_edge_flow(self, capsys):
+        assert main(["solve", "braess", "--method", "pg", "--edge-flow"]) == 2
+        assert "path-based" in capsys.readouterr().err
+
     def test_solve_edge_flow_reports_raw_tstt(self, capsys):
         assert main(["solve", "sioux-falls-mini", "--edge-flow"]) == 0
         output = capsys.readouterr().out
