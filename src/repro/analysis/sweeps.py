@@ -70,12 +70,17 @@ class SweepCase:
     ``column_generation`` runs the case through the large-network
     column-generation simulator instead (fluid methods only): the network's
     path set is re-seeded with free-flow shortest paths and grows at
-    bulletin refreshes.  Such cases always execute serially -- their path
-    set changes mid-run, so they cannot join a fixed-dimension batch -- and
-    reject ``initial_flow`` and ``stop_when`` (both are authored for the
-    case network's fixed path dimension; pass a scalar ``stop_when`` to
+    bulletin refreshes.  CG cases sharing the same network object, update
+    period, horizon and steps-per-phase fuse onto the batched CG driver
+    (:func:`~repro.largescale.batch_columns.simulate_with_column_generation_batch`,
+    padded path dimension, one shared oracle); note that fused *open-mode*
+    rows grow a shared union path set, so pass ``engine="serial"`` when
+    per-row discovery sets must stay independent (closed-mode fusions stay
+    bit-identical per row).  CG cases reject ``initial_flow`` and
+    ``stop_when`` (both are authored for the case network's fixed path
+    dimension; pass a scalar ``stop_when`` to
     :func:`~repro.largescale.columns.simulate_with_column_generation`
-    directly instead).
+    directly instead) and run serially so those errors surface.
 
     ``scenario`` makes the case's environment nonstationary (see
     :mod:`repro.scenarios`).  Scenarios ride along per row: same-topology

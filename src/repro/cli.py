@@ -80,7 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list-instances", help="list registered example networks")
+    subparsers.add_parser(
+        "list-instances",
+        help="list registered example networks (any command also accepts "
+        "'tntp:<net_path>,<trips_path>' for an external TNTP file pair)",
+    )
 
     describe = subparsers.add_parser("describe", help="describe an instance and its theory constants")
     describe.add_argument("instance", help="registered instance name")
@@ -198,8 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--column-generation",
         action="store_true",
-        help="run every case with shortest-path column generation (cases then "
-        "execute serially; fluid methods only)",
+        help="run every case with shortest-path column generation (fluid "
+        "methods only; same-network cases with equal periods fuse onto the "
+        "batched CG driver, which unions open-mode discoveries -- use "
+        "--engine serial for independent per-row route sets)",
     )
     sweep.add_argument(
         "--scenario",

@@ -66,7 +66,9 @@ def simulate_best_response(
     """
     if update_period <= 0 or horizon <= 0:
         raise ValueError("update period and horizon must be positive")
-    flow = initial_flow or FlowVector.uniform(network)
+    # ``is None``, not truthiness: FlowVector defines __len__, so ``or``
+    # would silently replace a zero-length flow instead of rejecting it.
+    flow = FlowVector.uniform(network) if initial_flow is None else initial_flow
     trajectory = Trajectory(
         network=network,
         policy_name="best-response" + ("" if stale else " (fresh)"),

@@ -130,7 +130,9 @@ class ReroutingSimulator:
     ) -> Trajectory:
         config = self.config
         network = self.network
-        flow = initial_flow or FlowVector.uniform(network)
+        # ``is None``, not truthiness: FlowVector defines __len__, so ``or``
+        # would silently replace a zero-length flow instead of rejecting it.
+        flow = FlowVector.uniform(network) if initial_flow is None else initial_flow
         if flow.network is not network:
             raise ValueError("initial flow belongs to a different network")
         board: BulletinBoard

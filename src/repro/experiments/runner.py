@@ -24,7 +24,11 @@ cases, the cheapest execution backend:
 serially (or on a pool when ``processes > 1`` is requested).  Whatever the
 backend, rows are emitted in the original case order and each case's
 trajectory is identical to a scalar run, so results never depend on the
-dispatch decision.
+dispatch decision — with one documented exception: *open-mode*
+column-generation cases fused onto the batched CG driver grow a shared
+(union) restricted path set, so a fused row can route over columns another
+row discovered.  Closed-mode CG fusions stay bit-identical per row; force
+``engine="serial"`` when per-row discovery sets must stay independent.
 """
 
 from __future__ import annotations
@@ -48,7 +52,7 @@ from ..wardrop.family import NetworkFamily, topology_signature
 from ..wardrop.flow import FlowVector
 from .plan import ExperimentPlan
 
-GroupKey = Tuple[Tuple, bool, str, bool]
+GroupKey = Tuple[Tuple, bool, str, bool, Optional[Tuple]]
 
 Rows = List[Dict[str, object]]
 
@@ -63,19 +67,40 @@ def group_key(case: SweepCase) -> GroupKey:
     same information model (stale vs fresh) and the same integration method;
     policy, update period, horizon, steps-per-phase, initial flow and
     *scenario* may vary per row (the batched engine stacks per-row
-    nonstationary environments).  The final key element flags serial-only
-    cases: column generation never batches (its path dimension changes
-    mid-run), and agent-method cases carrying a scenario run on the scalar
-    agent engine.
+    nonstationary environments).
+
+    Column-generation cases fuse under a stricter signature (the final key
+    element): they must share the *same network object* (the rows grow one
+    shared restricted path set) and the same update period, horizon and
+    steps-per-phase (the batched driver runs one global phase grid).  Only
+    policies and scenarios vary per fused CG row.  The ``serial_only`` flag
+    (element 3) marks the cases that still run on the scalar path: CG cases
+    with an initial flow, a stop condition or the agents method (so the
+    scalar driver's informative errors surface), and agent-method cases
+    carrying a scenario (they need the scalar agent engine).
     """
-    serial_only = case.column_generation or (
-        case.method == "agents" and case.scenario is not None
-    )
+    cg_signature: Optional[Tuple] = None
+    if case.column_generation:
+        serial_only = (
+            case.method == "agents"
+            or case.initial_flow is not None
+            or case.stop_when is not None
+        )
+        if not serial_only:
+            cg_signature = (
+                id(case.network),
+                case.update_period,
+                case.horizon,
+                case.steps_per_phase,
+            )
+    else:
+        serial_only = case.method == "agents" and case.scenario is not None
     return (
         topology_signature(case.network),
         case.stale,
         case.method,
         serial_only,
+        cg_signature,
     )
 
 
@@ -224,6 +249,37 @@ def _group_stop_when(cases: Sequence[SweepCase]):
     return combined
 
 
+def _run_batch_cg_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
+    """Run one fused column-generation group on the batched CG driver.
+
+    The group key guarantees the cases share one network object, update
+    period, horizon, steps-per-phase, information model and method; policies
+    and scenarios ride along per row.  Closed-mode rows are bit-identical to
+    the scalar driver.  **Open-mode rows are not**: fused rows grow one
+    shared (union) restricted path set, so a row can discover columns
+    another row's snapshot surfaced — this is the one documented departure
+    from "results never depend on the dispatch decision" (force
+    ``engine="serial"`` to keep per-row discovery sets independent).
+    """
+    from ..largescale.batch_columns import simulate_with_column_generation_batch
+    from ..largescale.columns import ActivePathSet
+
+    first = cases[0]
+    scenarios = [case.scenario for case in cases]
+    result = simulate_with_column_generation_batch(
+        ActivePathSet.from_network(first.network),
+        [case.policy for case in cases],
+        update_period=first.update_period,
+        horizon=first.horizon,
+        scenarios=scenarios if any(s is not None for s in scenarios) else None,
+        batch=len(cases),
+        stale=first.stale,
+        steps_per_phase=first.steps_per_phase,
+        method=first.method,
+    )
+    return [result.trajectory(row) for row in range(len(cases))]
+
+
 def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
     """Run one compatible group as a single batched integration.
 
@@ -234,6 +290,8 @@ def _run_batch_group(cases: Sequence[SweepCase]) -> List[Trajectory]:
     finite-population engine instead of the fluid integrator.
     """
     first = cases[0]
+    if first.column_generation:
+        return _run_batch_cg_group(cases)
     target, policies = _group_target_and_policies(cases)
     # Passed as FlowVectors (not a raw array) so the engine validates each
     # row's flow against its own network or family member.
@@ -364,10 +422,10 @@ def _dispatch_rows(
     leftovers: List[int] = []
     for key, indices in groups.items():
         if key[3]:
-            # Serial-only cases: column generation cannot batch (growing path
-            # dimension) and scenario-carrying agent cases need the scalar
-            # agent engine; both run on the scalar path whatever the engine
-            # choice.
+            # Serial-only cases: CG cases whose configuration the batched CG
+            # driver rejects (initial flow, stop condition, agents method)
+            # run scalar so the scalar driver's informative errors surface,
+            # and scenario-carrying agent cases need the scalar agent engine.
             leftovers.extend(indices)
         elif engine == "batch" or len(indices) > 1:
             tele.event(

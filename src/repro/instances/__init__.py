@@ -6,6 +6,7 @@ layered/grid networks for stress tests.
 """
 
 from .braess import braess_equilibrium, braess_equilibrium_latency, braess_network
+from .city import city_tntp_text, synthetic_city_network
 from .grids import grid_network
 from .parallel_links import (
     heterogeneous_affine_links,
@@ -19,6 +20,7 @@ from .registry import available_instances, get_instance, register_instance
 from .tntp import (
     SIOUX_FALLS_REFERENCE_TSTT,
     TntpLink,
+    load_tntp_from_text,
     load_tntp_instance,
     parse_tntp_network,
     parse_tntp_trips,
@@ -38,11 +40,13 @@ __all__ = [
     "braess_equilibrium",
     "braess_equilibrium_latency",
     "braess_network",
+    "city_tntp_text",
     "equilibrium_flow",
     "get_instance",
     "grid_network",
     "heterogeneous_affine_links",
     "identical_linear_links",
+    "load_tntp_from_text",
     "load_tntp_instance",
     "lopsided_flow",
     "oscillation_initial_flow",
@@ -56,5 +60,6 @@ __all__ = [
     "random_layered_network",
     "register_instance",
     "sioux_falls_network",
+    "synthetic_city_network",
     "two_link_network",
 ]

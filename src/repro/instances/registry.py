@@ -11,11 +11,12 @@ from typing import Callable, Dict, List
 
 from ..wardrop.network import WardropNetwork
 from .braess import braess_network
+from .city import synthetic_city_network
 from .grids import grid_network
 from .parallel_links import heterogeneous_affine_links, identical_linear_links, pigou_like_links
 from .pigou import pigou_network
 from .random_networks import random_layered_network
-from .tntp import sioux_falls_network
+from .tntp import load_tntp_instance, sioux_falls_network
 from .two_links import two_link_network
 
 InstanceFactory = Callable[[], WardropNetwork]
@@ -38,7 +39,30 @@ _REGISTRY: Dict[str, InstanceFactory] = {
     # free-flow shortest paths, meant to grow by column generation.
     "sioux-falls": sioux_falls_network,
     "sioux-falls-mini": lambda: sioux_falls_network(max_od_pairs=40),
+    # Synthetic city: 16x16 street grid with arterial corridors, 960 directed
+    # links -- the city-scale target of the batched column-generation driver.
+    "city-grid": synthetic_city_network,
+    "city-grid-mini": lambda: synthetic_city_network(
+        blocks=4, arterial_every=2, od_pairs=4
+    ),
 }
+
+# Anaheim-class TNTP file pairs load through a dynamic name instead of a
+# registration: ``tntp:<net_path>,<trips_path>``.  The separator is a comma
+# because paths routinely contain colons on some platforms.
+_TNTP_PREFIX = "tntp:"
+
+
+def _load_dynamic_tntp(name: str) -> WardropNetwork:
+    spec = name[len(_TNTP_PREFIX) :]
+    parts = spec.split(",")
+    if len(parts) != 2 or not parts[0].strip() or not parts[1].strip():
+        raise KeyError(
+            f"malformed TNTP instance name {name!r}; "
+            "expected 'tntp:<net_path>,<trips_path>'"
+        )
+    net_path, trips_path = (part.strip() for part in parts)
+    return load_tntp_instance(net_path, trips_path, name=name)
 
 
 def register_instance(name: str, factory: InstanceFactory, overwrite: bool = False) -> None:
@@ -53,12 +77,20 @@ def register_instance(name: str, factory: InstanceFactory, overwrite: bool = Fal
 
 
 def get_instance(name: str) -> WardropNetwork:
-    """Build and return the registered instance ``name``."""
+    """Build and return the registered instance ``name``.
+
+    Besides registered names, ``tntp:<net_path>,<trips_path>`` loads an
+    arbitrary TNTP file pair (Anaheim-class networks that are too large to
+    bundle) through :func:`repro.instances.tntp.load_tntp_instance`.
+    """
+    if name.startswith(_TNTP_PREFIX):
+        return _load_dynamic_tntp(name)
     try:
         factory = _REGISTRY[name]
     except KeyError as error:
         raise KeyError(
-            f"unknown instance {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+            f"unknown instance {name!r}; available: {', '.join(sorted(_REGISTRY))} "
+            "(or 'tntp:<net_path>,<trips_path>' for an external TNTP pair)"
         ) from error
     return factory()
 

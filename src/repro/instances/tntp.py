@@ -227,6 +227,29 @@ def load_tntp_instance(
     """
     net_text = FilePath(net_path).read_text()
     trips_text = FilePath(trips_path).read_text()
+    return load_tntp_from_text(
+        net_text,
+        trips_text,
+        name=name,
+        max_od_pairs=max_od_pairs,
+        incidence_mode=incidence_mode,
+    )
+
+
+def load_tntp_from_text(
+    net_text: str,
+    trips_text: str,
+    name: str = "",
+    max_od_pairs: Optional[int] = None,
+    incidence_mode: Optional[str] = None,
+) -> WardropNetwork:
+    """Build a restricted :class:`WardropNetwork` from TNTP file *contents*.
+
+    Same conversion as :func:`load_tntp_instance` without touching the
+    filesystem -- generated instances (the synthetic city of
+    :mod:`repro.instances.city`) emit TNTP text and load it through this
+    exact code path, which guarantees they stay TNTP-convertible.
+    """
     net_metadata, links = parse_tntp_network(net_text)
     trips_metadata, demands = parse_tntp_trips(trips_text)
     if not links:

@@ -14,7 +14,11 @@ networks where exhaustively enumerating the path sets is impossible:
   path set that grows by shortest-path column generation at bulletin-board
   refreshes (matching the paper's information model: agents can only
   discover routes when the board updates), and the column-generation
-  simulator driving the rerouting dynamics on it.
+  simulator driving the rerouting dynamics on it,
+* :mod:`~repro.largescale.batch_columns` -- the batched driver running B
+  same-topology column-generation replicas as one padded ``(B, P)``
+  ensemble against a shared oracle (union growth, per-row eviction and
+  per-row duality-gap certificates).
 
 The TNTP instance loader lives in :mod:`repro.instances.tntp` and the
 edge-flow Frank--Wolfe solver in :mod:`repro.solvers.edge_frank_wolfe`;
@@ -31,6 +35,8 @@ _EXPORTS = {
     "ActivePathSet": "columns",
     "ColumnGenerationResult": "columns",
     "simulate_with_column_generation": "columns",
+    "BatchColumnGenerationResult": "batch_columns",
+    "simulate_with_column_generation_batch": "batch_columns",
     "DenseIncidence": "incidence",
     "EdgeIncidence": "incidence",
     "SparseIncidence": "incidence",

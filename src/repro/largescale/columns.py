@@ -106,6 +106,14 @@ class ActivePathSet:
             path for paths in self._paths_by_commodity for path in paths
         }
         self.version = 0
+        self._path_set = PathSet(self._paths_by_commodity)
+        # The first network build validates the (caller-supplied) seed paths;
+        # grown rebuilds skip the full re-validation scan -- oracle-traced
+        # paths are graph paths by construction.
+        self._validated = False
+        # Old-index -> new-index permutation of the most recent growth event
+        # (paths keep their identity; appending shifts later global indices).
+        self.last_permutation: Optional[np.ndarray] = None
         self._network: Optional[WardropNetwork] = None
 
     @classmethod
@@ -151,8 +159,8 @@ class ActivePathSet:
         return sum(len(paths) for paths in self._paths_by_commodity)
 
     def path_set(self) -> PathSet:
-        """Return the current restricted :class:`PathSet` (fresh object)."""
-        return PathSet(self._paths_by_commodity)
+        """Return the current restricted :class:`PathSet` (shared, grown in place)."""
+        return self._path_set
 
     @property
     def network(self) -> WardropNetwork:
@@ -162,9 +170,11 @@ class ActivePathSet:
                 self.graph,
                 self.commodities,
                 normalise=False,
-                paths=self.path_set(),
+                paths=self._path_set,
                 incidence_mode=self.incidence_mode,
+                validate_paths=not self._validated,
             )
+            self._validated = True
         return self._network
 
     # Growth -----------------------------------------------------------------
@@ -179,13 +189,30 @@ class ActivePathSet:
         """
         if self.closed:
             return []
+        return self.add_paths(self.oracle.shortest_commodity_paths(edge_costs))
+
+    def add_paths(self, paths: Sequence[Path]) -> List[Path]:
+        """Grow the set by the given candidate paths (skipping known ones).
+
+        This is the union entry point of the batched driver: candidates
+        discovered by different rows are merged here, each new column joining
+        the end of its commodity's block.  The path set grows *incrementally*
+        (see :meth:`~repro.wardrop.paths.PathSet.extended`): edge membership
+        -- and therefore the CSR incidence assembly -- is carried over, only
+        the new columns are scanned, and :attr:`last_permutation` records
+        where every old global index moved.  Returns the new paths; a closed
+        set never grows.
+        """
+        if self.closed:
+            return []
         added: List[Path] = []
-        for path in self.oracle.shortest_commodity_paths(edge_costs):
+        for path in paths:
             if path not in self._known:
                 self._known.add(path)
                 self._paths_by_commodity[path.commodity_index].append(path)
                 added.append(path)
         if added:
+            self._path_set, self.last_permutation = self._path_set.extended(added)
             self.version += 1
             self._network = None
         return added
@@ -356,7 +383,9 @@ def simulate_with_column_generation(
     network = active.network
     if scenario is not None:
         scenario.require_edges(network)
-    flow = initial_flow or FlowVector.uniform(network)
+    # ``is None``, not truthiness: FlowVector defines __len__, so ``or``
+    # would silently replace a zero-length flow instead of rejecting it.
+    flow = FlowVector.uniform(network) if initial_flow is None else initial_flow
     if flow.network is not network:
         raise ValueError("initial flow belongs to a different network")
     values = flow.values()

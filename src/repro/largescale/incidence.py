@@ -23,7 +23,7 @@ it (``mode="sparse"`` raises a clear error instead).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 # Auto mode switches to the sparse backend once the dense matrix would hold
 # this many entries; small instances keep the historical dense arithmetic.
 AUTO_SPARSE_THRESHOLD = 200_000
+
+# CSR is the default tier at road-network sizes: auto mode also goes sparse
+# once the network has this many edges, regardless of the current path count
+# (column generation starts with few paths and grows -- picking the backend
+# from the initial dense size would start road networks on the dense tier and
+# re-tier them mid-run).  Matches the oracle's scipy-backend threshold.
+AUTO_SPARSE_MIN_EDGES = 64
 
 
 def have_scipy() -> bool:
@@ -94,26 +101,49 @@ class EdgeIncidence:
 
 
 class DenseIncidence(EdgeIncidence):
-    """The historical dense backend: plain BLAS products on a 0/1 array."""
+    """The historical dense backend: plain BLAS products on a 0/1 array.
+
+    Batched inputs are evaluated as one matrix-vector product per row rather
+    than a single GEMM: the GEMM kernel may accumulate in a different order
+    than the scalar GEMV and land one ulp away, which would break the
+    row-wise bit-identity contract of the batched engines.  The dense tier
+    only serves small networks (see :data:`AUTO_SPARSE_MIN_EDGES`), so the
+    per-row loop costs nothing measurable.
+    """
 
     def __init__(self, matrix: np.ndarray):
         self._matrix = np.asarray(matrix, dtype=float)
         self.shape = self._matrix.shape
+        self._dense_view: Optional[np.ndarray] = None
 
     def edge_flows(self, path_flows: np.ndarray) -> np.ndarray:
         return self._matrix @ np.asarray(path_flows, dtype=float)
 
     def edge_flows_batch(self, path_flows: np.ndarray) -> np.ndarray:
-        return np.asarray(path_flows, dtype=float) @ self._matrix.T
+        flows = np.asarray(path_flows, dtype=float)
+        out = np.empty((flows.shape[0], self.shape[0]))
+        for row in range(flows.shape[0]):
+            out[row] = self._matrix @ flows[row]
+        return out
 
     def path_totals(self, edge_values: np.ndarray) -> np.ndarray:
         return self._matrix.T @ np.asarray(edge_values, dtype=float)
 
     def path_totals_batch(self, edge_values: np.ndarray) -> np.ndarray:
-        return np.asarray(edge_values, dtype=float) @ self._matrix
+        values = np.asarray(edge_values, dtype=float)
+        out = np.empty((values.shape[0], self.shape[1]))
+        for row in range(values.shape[0]):
+            out[row] = self._matrix.T @ values[row]
+        return out
 
     def dense(self) -> np.ndarray:
-        return self._matrix
+        # A read-only view: handing out the internal matrix itself would let
+        # a caller's in-place edit corrupt every later product.
+        if self._dense_view is None:
+            view = self._matrix.view()
+            view.setflags(write=False)
+            self._dense_view = view
+        return self._dense_view
 
     @property
     def nnz(self) -> int:
@@ -168,8 +198,12 @@ class SparseIncidence(EdgeIncidence):
         return (self._by_path @ values.T).T
 
     def dense(self) -> np.ndarray:
+        # The cache is handed out read-only so callers cannot corrupt it (the
+        # CSR operands themselves are never exposed).
         if self._dense_cache is None:
-            self._dense_cache = self._by_edge.toarray()
+            cache = self._by_edge.toarray()
+            cache.setflags(write=False)
+            self._dense_cache = cache
         return self._dense_cache
 
     @property
@@ -190,10 +224,12 @@ def build_incidence(
 ) -> EdgeIncidence:
     """Build the incidence backend for a path set over a fixed edge order.
 
-    ``mode`` is ``"dense"``, ``"sparse"`` or ``"auto"`` (sparse once the
-    dense matrix would exceed :data:`AUTO_SPARSE_THRESHOLD` entries and
-    scipy is available).  Both backends consume the path set's shared
-    :meth:`~repro.wardrop.paths.PathSet.edge_membership` map, so the
+    ``mode`` is ``"dense"``, ``"sparse"`` or ``"auto"``.  Auto picks CSR
+    whenever scipy is available and the instance is road-network sized --
+    at least :data:`AUTO_SPARSE_MIN_EDGES` edges -- or the dense matrix
+    would exceed :data:`AUTO_SPARSE_THRESHOLD` entries; the dense tier is
+    the small-network special case.  Both backends consume the path set's
+    shared :meth:`~repro.wardrop.paths.PathSet.edge_membership` map, so the
     membership scan over all paths runs exactly once.
     """
     if mode not in ("auto", "dense", "sparse"):
@@ -206,7 +242,10 @@ def build_incidence(
     if mode == "sparse" or (
         mode == "auto"
         and _HAVE_SCIPY
-        and len(edges) * num_paths > AUTO_SPARSE_THRESHOLD
+        and (
+            len(edges) >= AUTO_SPARSE_MIN_EDGES
+            or len(edges) * num_paths > AUTO_SPARSE_THRESHOLD
+        )
     ):
         return SparseIncidence(rows, num_paths)
     matrix = np.zeros((len(edges), num_paths))

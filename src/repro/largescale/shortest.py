@@ -276,6 +276,12 @@ class ShortestPathOracle:
             raise ValueError(
                 f"cost vector has length {len(costs)}, oracle has {self.num_edges} edges"
             )
+        # ``costs < 0`` is False for NaN, so a bare negativity check would
+        # let NaN costs through and silently corrupt Dijkstra distances.
+        # +inf stays legal: the scipy backend prices centroid out-arcs at
+        # +inf, and both backends treat an infinite edge as unusable.
+        if np.any(np.isnan(costs)):
+            raise ValueError("Dijkstra received NaN edge costs")
         if np.any(costs < 0):
             raise ValueError("Dijkstra requires non-negative edge costs")
         return costs

@@ -160,7 +160,12 @@ class FlowVector:
         flows = np.clip(np.asarray(path_flows, dtype=float), 0.0, None)
         for i, commodity in enumerate(network.commodities):
             indices = list(network.paths.commodity_indices(i))
-            routed = flows[:, indices].sum(axis=1)
+            block = flows[:, indices]
+            # Each row's routed mass must use the same 1-D pairwise reduction
+            # as :meth:`projected` -- ``block.sum(axis=1)`` can accumulate in
+            # a different order and land one ulp away, breaking the row-wise
+            # bit-identity contract of the batched engines.
+            routed = np.array([row.sum() for row in block])
             starved = routed <= np.finfo(float).tiny
             safe = np.where(starved, 1.0, routed)
             flows[:, indices] *= (commodity.demand / safe)[:, None]

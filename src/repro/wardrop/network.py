@@ -58,7 +58,14 @@ class WardropNetwork:
         the edge--path incidence matrix (see
         :func:`repro.largescale.incidence.build_incidence`).  Auto keeps the
         historical dense arithmetic on small instances and switches to CSR
-        products on large ones.
+        products at road-network sizes.
+    validate_paths:
+        When a prebuilt ``paths`` set is supplied, ``False`` skips the
+        per-path endpoint/edge validation scan.  Column generation uses this
+        on growth rebuilds: the extended set differs from an already
+        validated one only by oracle-traced paths, which are graph paths by
+        construction, so re-scanning the whole set per growth event would be
+        the dominant rebuild cost for nothing.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class WardropNetwork:
         max_paths: int = 10_000,
         paths: Optional[PathSet] = None,
         incidence_mode: str = "auto",
+        validate_paths: bool = True,
     ):
         if not commodities:
             raise ValueError("a Wardrop instance needs at least one commodity")
@@ -81,7 +89,7 @@ class WardropNetwork:
         self._check_latencies()
         if paths is None:
             paths = build_path_set(graph, self.commodities, max_paths=max_paths)
-        else:
+        elif validate_paths:
             self._check_prebuilt_paths(paths)
         self.paths: PathSet = paths
         self._edges: List[EdgeKey] = self.paths.edges()

@@ -233,6 +233,65 @@ class PathSet:
             }
         return self._membership
 
+    # Growth ---------------------------------------------------------------
+
+    def extended(self, added: Sequence[Path]) -> Tuple["PathSet", np.ndarray]:
+        """Return ``(new_set, perm)`` with ``added`` appended per commodity.
+
+        This is the incremental column append used by column generation:
+        each new path joins the end of its commodity's block, so the global
+        order stays commodity-contiguous and every old index ``i`` moves to
+        ``perm[i]`` (``perm`` is strictly increasing).  The edge membership
+        -- the expensive full-set scan backing the CSR incidence -- is
+        carried over from this set when it has already been built: old index
+        arrays are remapped through ``perm`` and only the *added* paths are
+        scanned, so growing by k paths costs ``O(k * path length)`` plus the
+        ``O(nnz)`` remap instead of a re-scan of the whole set.
+        """
+        added = list(added)
+        if not added:
+            return self, np.arange(len(self._all), dtype=np.int64)
+        by_commodity = [list(paths) for paths in self._by_commodity]
+        for path in added:
+            if not 0 <= path.commodity_index < len(by_commodity):
+                raise ValueError(
+                    f"added path belongs to commodity {path.commodity_index}, "
+                    f"set has {len(by_commodity)}"
+                )
+            by_commodity[path.commodity_index].append(path)
+        new_set = PathSet(by_commodity)
+        # Old index i of commodity c shifts by the number of paths added to
+        # earlier commodities (its own commodity's additions come after it).
+        added_before = np.zeros(len(by_commodity) + 1, dtype=np.int64)
+        for path in added:
+            added_before[path.commodity_index + 1] += 1
+        np.cumsum(added_before, out=added_before)
+        perm = np.empty(len(self._all), dtype=np.int64)
+        for commodity, (start, stop) in enumerate(self._commodity_slices):
+            perm[start:stop] = (
+                np.arange(start, stop, dtype=np.int64) + added_before[commodity]
+            )
+        if self._membership is not None:
+            membership = {
+                edge: perm[indices] for edge, indices in self._membership.items()
+            }
+            fresh: Dict[EdgeKey, List[int]] = {}
+            for path in added:
+                index = new_set._index[path]
+                for edge in set(path.edges):
+                    fresh.setdefault(edge, []).append(index)
+            for edge, indices in fresh.items():
+                extra = np.asarray(sorted(indices), dtype=np.int64)
+                base = membership.get(edge)
+                if base is None:
+                    membership[edge] = extra
+                else:
+                    merged = np.concatenate([base, extra])
+                    merged.sort(kind="stable")
+                    membership[edge] = merged
+            new_set._membership = membership
+        return new_set, perm
+
     def paths_through(self, edge: EdgeKey) -> List[int]:
         """Return the global indices of paths that use ``edge``."""
         indices = self.edge_membership().get(edge)

@@ -1,0 +1,407 @@
+"""Batched column generation: closed-mode bit-identity, union growth,
+in-place buffer growth, per-row eviction and the certificate surface."""
+
+import numpy as np
+import pytest
+
+from repro.core import replicator_policy, uniform_policy
+from repro.instances import braess_network, grid_network
+from repro.largescale import (
+    ActivePathSet,
+    simulate_with_column_generation,
+    simulate_with_column_generation_batch,
+)
+from repro.largescale.columns import _evict_closed_columns
+from repro.scenarios import LinkIncident, Scenario, get_scenario
+
+
+def trajectory_matrix(trajectory):
+    """Stack a scalar trajectory's samples into an ``(S, P)`` array."""
+    return np.array([point.flow.values() for point in trajectory.points])
+
+
+def scalar_run(network, policy, closed=True, scenario=None, **kwargs):
+    return simulate_with_column_generation(
+        ActivePathSet.from_network(network, closed=closed),
+        policy,
+        scenario=scenario,
+        **kwargs,
+    )
+
+
+class TestClosedModeBitIdentity:
+    """Closed-mode batched rows reproduce the scalar driver bit for bit."""
+
+    SETTINGS = dict(update_period=0.125, horizon=2.0, steps_per_phase=7)
+
+    @pytest.mark.parametrize("policy_builder", [uniform_policy, replicator_policy])
+    @pytest.mark.parametrize(
+        "factory",
+        [braess_network, lambda: grid_network(2, 3, num_commodities=2, seed=3)],
+    )
+    def test_rows_match_scalar_closed_runs(self, policy_builder, factory):
+        network = factory()
+        policy = policy_builder(network)
+        batched = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network, closed=True),
+            policy,
+            batch=3,
+            **self.SETTINGS,
+        )
+        scalar = scalar_run(network, policy, **self.SETTINGS)
+        reference = trajectory_matrix(scalar.trajectory)
+        assert batched.growth_events == []
+        assert np.array_equal(batched.times, [p.time for p in scalar.trajectory.points])
+        for row in range(3):
+            assert np.array_equal(reference, batched.flow_matrix(row))
+
+    def test_rows_with_distinct_scenarios_match_scalar(self):
+        """Per-row incidents (capacity drops at different times) must leave
+        every closed-mode row bit-identical to its own scalar run."""
+        network = grid_network(2, 3, num_commodities=2, seed=3)
+        policy = uniform_policy(network)
+        edge = network.edges[0]
+        scenarios = [
+            None,
+            Scenario(incidents=[LinkIncident(edge, 0.5, 1.25, capacity_factor=0.5)]),
+            Scenario(incidents=[LinkIncident(edge, 1.0, 1.75, capacity_factor=0.3)]),
+        ]
+        batched = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network, closed=True),
+            policy,
+            scenarios=scenarios,
+            **self.SETTINGS,
+        )
+        for row, scenario in enumerate(scenarios):
+            scalar = scalar_run(network, policy, scenario=scenario, **self.SETTINGS)
+            assert np.array_equal(
+                trajectory_matrix(scalar.trajectory), batched.flow_matrix(row)
+            )
+
+    def test_closure_scenario_rows_match_scalar_including_eviction(self):
+        """A closure evicts crossing columns per row at the onset phase; the
+        repaired states must still replay the scalar driver exactly."""
+        network = braess_network()
+        policy = uniform_policy(network)
+        scenarios = [get_scenario("braess-closure", network), None]
+        settings = dict(update_period=0.5, horizon=14.0, steps_per_phase=5)
+        batched = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network, closed=True),
+            policy,
+            scenarios=scenarios,
+            **settings,
+        )
+        assert batched.eviction_events, "the closure must evict crossing columns"
+        assert all(row == 0 for _, row, _ in batched.eviction_events)
+        for row, scenario in enumerate(scenarios):
+            scalar = scalar_run(network, policy, scenario=scenario, **settings)
+            assert np.array_equal(
+                trajectory_matrix(scalar.trajectory), batched.flow_matrix(row)
+            )
+
+    def test_closed_rows_on_a_grown_network_match_scalar(self):
+        """The regression behind the 1-ulp projection bug: freeze a set that
+        *grew* (commodity blocks at shifted offsets) and require closed-mode
+        rows to stay bit-identical on the grown geometry."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        policy = uniform_policy(network)
+        open_result = simulate_with_column_generation(
+            ActivePathSet.from_network(network),
+            policy,
+            update_period=0.125,
+            horizon=5.0,
+            steps_per_phase=10,
+        )
+        assert open_result.total_columns_added > 0
+        grown = open_result.network
+        batched = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(grown, closed=True),
+            policy,
+            batch=4,
+            **self.SETTINGS,
+        )
+        scalar = scalar_run(grown, policy, **self.SETTINGS)
+        reference = trajectory_matrix(scalar.trajectory)
+        for row in range(4):
+            assert np.array_equal(reference, batched.flow_matrix(row))
+
+
+class TestOpenModeGrowth:
+    SETTINGS = dict(update_period=0.125, horizon=5.0, steps_per_phase=10)
+
+    def test_single_row_batch_reproduces_scalar_driver(self):
+        """B=1 has nothing to union: growth events, final path set and every
+        sample must match the scalar open-mode driver bit for bit."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        policy = uniform_policy(network)
+        batched = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network), policy, batch=1, **self.SETTINGS
+        )
+        scalar = simulate_with_column_generation(
+            ActivePathSet.from_network(network), policy, **self.SETTINGS
+        )
+        assert scalar.total_columns_added > 0
+        assert batched.network.num_paths == scalar.network.num_paths
+        assert [phase for phase, _ in batched.growth_events] == [
+            phase for phase, _ in scalar.growth_events
+        ]
+        assert list(batched.network.paths) == list(scalar.network.paths)
+        assert np.array_equal(
+            trajectory_matrix(scalar.trajectory), batched.flow_matrix(0)
+        )
+
+    def test_new_columns_enter_with_zero_flow_on_every_row(self):
+        """Union growth: a column discovered by one row joins all rows with
+        zero flow at its growth phase (no closures here, so nothing is ever
+        moved onto a fresh column)."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        policy = uniform_policy(network)
+        edge = network.edges[0]
+        scenarios = [
+            None,
+            Scenario(incidents=[LinkIncident(edge, 1.0, 3.0, capacity_factor=0.3)]),
+        ]
+        result = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network),
+            policy,
+            scenarios=scenarios,
+            **self.SETTINGS,
+        )
+        assert result.growth_events
+        for phase, paths in result.growth_events:
+            indices = [result.network.paths.index_of(path) for path in paths]
+            assert np.array_equal(
+                result.phase_start_flows[:, phase, :][:, indices],
+                np.zeros((len(scenarios), len(indices))),
+            )
+
+    def test_union_merges_candidates_from_different_rows(self):
+        """The ``add_paths`` union entry point: candidates discovered by two
+        rows land in one set, and the permutation maps every old index to
+        where its path now lives."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        active = ActivePathSet.from_network(network)
+        seed_paths = list(active.network.paths)
+        values = np.zeros((2, active.num_paths))
+        values[0, 0] = 1.0  # row 0 congests commodity 0's seed...
+        values[1, -1] = 1.0  # ...row 1 congests commodity 1's
+        candidates = []
+        for row in range(2):
+            costs = active.posted_costs(active.network, values[row])
+            candidates.extend(active.oracle.shortest_commodity_paths(costs))
+        added = active.add_paths(candidates)
+        assert added
+        perm = active.last_permutation
+        grown = active.network
+        for old_index, path in enumerate(seed_paths):
+            assert grown.paths.index_of(path) == perm[old_index]
+        for path in added:
+            assert path in grown.paths
+        # Re-adding the same candidates is a no-op.
+        assert active.add_paths(candidates) == []
+
+    def test_growth_reposts_every_row(self):
+        """Growth is a shared information event: the sample right after a
+        growth phase is defined (and feasible) for every row, including rows
+        that did not refresh on their own schedule."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        result = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network),
+            uniform_policy(network),
+            batch=3,
+            **self.SETTINGS,
+        )
+        assert result.growth_events
+        demand = sum(c.demand for c in result.network.commodities)
+        totals = result.flows.sum(axis=2)
+        assert np.allclose(totals, demand, atol=1e-9)
+
+
+class TestBufferCapacity:
+    def test_tight_capacity_reallocates_and_matches_default(self):
+        """``capacity=width`` forces the doubling reallocation on the first
+        growth event; the run must stay bitwise equal to the default-padded
+        one (growth placement is index arithmetic, not arithmetic on flows)."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        policy = uniform_policy(network)
+        settings = dict(update_period=0.125, horizon=5.0, steps_per_phase=10)
+        width = ActivePathSet.from_network(network).num_paths
+        tight = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network),
+            policy,
+            batch=2,
+            capacity=width,
+            **settings,
+        )
+        padded = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network), policy, batch=2, **settings
+        )
+        assert tight.network.num_paths > width
+        assert np.array_equal(tight.flows, padded.flows)
+        assert np.array_equal(tight.phase_start_flows, padded.phase_start_flows)
+
+
+class TestEvictionHelpers:
+    def build(self):
+        network = braess_network()
+        closed = ActivePathSet.from_network(network, closed=True)
+        return closed, closed.network
+
+    def test_fully_closed_commodity_keeps_its_flow(self):
+        """A commodity whose every column crosses a closure has nothing open
+        to route onto: the flow stays put and nothing counts as moved."""
+        _, network = self.build()
+        values = np.array([0.25, 0.25, 0.5])
+        latencies = network.path_latencies(values)
+        repaired, moved = _evict_closed_columns(
+            network, values, list(range(network.num_paths)), latencies
+        )
+        assert moved == 0.0
+        assert np.array_equal(repaired, values)
+
+    def test_zero_volume_on_closed_columns_moves_nothing(self):
+        _, network = self.build()
+        descriptions = network.paths.describe()
+        shortcut = descriptions.index("s->a->b->t")
+        values = np.zeros(network.num_paths)
+        values[descriptions.index("s->a->t")] = 1.0
+        latencies = network.path_latencies(values)
+        repaired, moved = _evict_closed_columns(network, values, [shortcut], latencies)
+        assert moved == 0.0
+        assert np.array_equal(repaired, values)
+
+    def test_empty_crossing_list_is_the_fast_path(self):
+        _, network = self.build()
+        values = np.array([0.2, 0.3, 0.5])
+        repaired, moved = _evict_closed_columns(
+            network, values, [], network.path_latencies(values)
+        )
+        assert moved == 0.0
+        assert repaired is values  # no copy on the fast path
+
+    def test_flow_moves_to_the_cheapest_open_column(self):
+        _, network = self.build()
+        descriptions = network.paths.describe()
+        shortcut = descriptions.index("s->a->b->t")
+        values = np.zeros(network.num_paths)
+        values[shortcut] = 1.0
+        latencies = network.path_latencies(values)
+        repaired, moved = _evict_closed_columns(network, values, [shortcut], latencies)
+        open_indices = [i for i in range(network.num_paths) if i != shortcut]
+        best = min(open_indices, key=lambda p: (latencies[p], p))
+        assert moved == pytest.approx(1.0)
+        assert repaired[shortcut] == 0.0
+        assert repaired[best] == pytest.approx(1.0)
+
+    def test_invalidate_columns_on_a_grown_set(self):
+        """Crossing detection must see columns added after the seed build."""
+        network = grid_network(2, 3, num_commodities=1, seed=3)
+        active = ActivePathSet.from_network(network)
+        seed_network = active.network
+        values = np.zeros(active.num_paths)
+        values[0] = network.commodities[0].demand
+        added = active.augment(active.posted_costs(seed_network, values))
+        assert added
+        grown = active.network
+        target_edge = added[0].edges[0]
+        crossing = active.invalidate_columns(grown, {target_edge})
+        expected = [
+            index
+            for index, path in enumerate(grown.paths)
+            if target_edge in path.edges
+        ]
+        assert crossing == expected
+        assert grown.paths.index_of(added[0]) in crossing
+
+
+class TestBatchApiSurface:
+    def test_duality_gaps_cover_every_row(self):
+        network = grid_network(2, 3, num_commodities=2, seed=3)
+        result = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network),
+            uniform_policy(network),
+            update_period=0.25,
+            horizon=4.0,
+            steps_per_phase=5,
+            batch=3,
+        )
+        assert result.duality_gaps.shape == (3,)
+        assert np.all(np.isfinite(result.duality_gaps))
+        assert np.all(result.duality_gaps >= 0.0)
+        assert result.batch_size == 3
+        assert np.array_equal(result.final_flows(), result.flows[:, -1, :])
+
+    def test_trajectory_rows_round_trip_through_the_analysis_surface(self):
+        network = braess_network()
+        result = simulate_with_column_generation_batch(
+            ActivePathSet.from_network(network, closed=True),
+            uniform_policy(network),
+            update_period=0.25,
+            horizon=1.0,
+            steps_per_phase=5,
+            batch=2,
+        )
+        trajectory = result.trajectory(1)
+        assert len(trajectory) == len(result.times)
+        assert np.array_equal(trajectory_matrix(trajectory), result.flow_matrix(1))
+        assert len(trajectory.phases) == len(result.phase_spans)
+
+    def test_inconsistent_batch_sizes_rejected(self):
+        network = braess_network()
+        policy = uniform_policy(network)
+        scenarios = [None, None]
+        with pytest.raises(ValueError, match="batch sizes"):
+            simulate_with_column_generation_batch(
+                ActivePathSet.from_network(network),
+                policy,
+                update_period=0.25,
+                horizon=1.0,
+                batch=3,
+                scenarios=scenarios,
+            )
+
+    def test_missing_batch_size_rejected(self):
+        network = braess_network()
+        with pytest.raises(ValueError, match="batch size"):
+            simulate_with_column_generation_batch(
+                ActivePathSet.from_network(network),
+                uniform_policy(network),
+                update_period=0.25,
+                horizon=1.0,
+            )
+
+    def test_invalid_settings_rejected(self):
+        network = braess_network()
+        policy = uniform_policy(network)
+        with pytest.raises(ValueError, match="positive"):
+            simulate_with_column_generation_batch(
+                ActivePathSet.from_network(network),
+                policy,
+                update_period=0.0,
+                horizon=1.0,
+                batch=2,
+            )
+        with pytest.raises(ValueError, match="steps_per_phase"):
+            simulate_with_column_generation_batch(
+                ActivePathSet.from_network(network),
+                policy,
+                update_period=0.25,
+                horizon=1.0,
+                steps_per_phase=0,
+                batch=2,
+            )
+
+    def test_foreign_initial_flow_rejected(self):
+        network = braess_network()
+        other = braess_network()
+        from repro.wardrop import FlowVector
+
+        with pytest.raises(ValueError, match="different network"):
+            simulate_with_column_generation_batch(
+                ActivePathSet.from_network(network, closed=True),
+                uniform_policy(network),
+                update_period=0.25,
+                horizon=1.0,
+                batch=2,
+                initial_flows=FlowVector.uniform(other),
+            )

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.instances import braess_network, grid_network, sioux_falls_network
+from repro.instances import (
+    braess_network,
+    grid_network,
+    random_layered_network,
+    sioux_falls_network,
+)
 from repro.largescale import (
     DenseIncidence,
     SparseIncidence,
@@ -107,6 +112,63 @@ class TestSharedMembership:
         assert network.paths.paths_through(("nope", "nowhere", 0)) == []
 
 
+class TestDenseBitIdentity:
+    def test_dense_scalar_and_batch_rows_are_bit_identical(self):
+        """The dense batch products must replay the scalar GEMV per row: the
+        one-GEMM evaluation can accumulate in a different order and land one
+        ulp away, which broke closed-mode batched column generation."""
+        network = grid_network(3, 3, num_commodities=2, seed=3)
+        dense = build_incidence(network.paths, network.edges, mode="dense")
+        rng = np.random.default_rng(11)
+        batch = rng.random((6, network.num_paths))
+        batched = dense.edge_flows_batch(batch)
+        for row in range(6):
+            assert np.array_equal(batched[row], dense.edge_flows(batch[row]))
+        batch_values = rng.random((6, network.num_edges))
+        batched_totals = dense.path_totals_batch(batch_values)
+        for row in range(6):
+            assert np.array_equal(
+                batched_totals[row], dense.path_totals(batch_values[row])
+            )
+
+
+class TestReadOnlyDenseViews:
+    """``dense()`` hands out read-only arrays: a caller's in-place edit must
+    not corrupt the operator's internal matrix or cache."""
+
+    def test_dense_backend_view_is_read_only_and_stable(self):
+        network = braess_network()
+        dense = build_incidence(network.paths, network.edges, mode="dense")
+        view = dense.dense()
+        with pytest.raises(ValueError):
+            view[0, 0] = 99.0
+        assert dense.dense() is view  # cached, not rebuilt per call
+        flows = np.ones(network.num_paths)
+        assert np.array_equal(dense.edge_flows(flows), view @ flows)
+
+    @requires_scipy
+    def test_sparse_backend_cache_is_read_only_and_stable(self):
+        network = braess_network()
+        sparse = build_incidence(network.paths, network.edges, mode="sparse")
+        cache = sparse.dense()
+        with pytest.raises(ValueError):
+            cache[0, 0] = 99.0
+        assert sparse.dense() is cache
+        flows = np.ones(network.num_paths)
+        assert np.array_equal(sparse.edge_flows(flows), cache @ flows)
+
+    def test_mutation_attempt_does_not_poison_later_products(self):
+        network = braess_network()
+        dense = build_incidence(network.paths, network.edges, mode="dense")
+        flows = np.ones(network.num_paths)
+        before = dense.edge_flows(flows).copy()
+        try:
+            dense.dense()[:] = 0.0
+        except ValueError:
+            pass
+        assert np.array_equal(dense.edge_flows(flows), before)
+
+
 class TestModeSelection:
     @requires_scipy
     def test_sioux_falls_uses_the_sparse_backend(self):
@@ -116,6 +178,20 @@ class TestModeSelection:
     def test_small_instances_stay_dense_in_auto_mode(self):
         network = braess_network()
         assert isinstance(network.incidence_operator, DenseIncidence)
+
+    @requires_scipy
+    def test_auto_goes_sparse_at_road_network_edge_counts(self):
+        """CSR is the default tier at road-network sizes regardless of the
+        current path count: column generation starts with few paths, so the
+        dense-entries threshold alone would start road networks dense and
+        re-tier them mid-run."""
+        from repro.largescale.incidence import AUTO_SPARSE_MIN_EDGES
+
+        network = random_layered_network(4, 5, num_commodities=3, seed=3)
+        assert network.num_edges >= AUTO_SPARSE_MIN_EDGES
+        assert network.num_paths * network.num_edges < 200_000
+        operator = build_incidence(network.paths, network.edges, mode="auto")
+        assert isinstance(operator, SparseIncidence)
 
     def test_unknown_mode_rejected(self):
         network = braess_network()

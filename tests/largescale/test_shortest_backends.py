@@ -116,6 +116,48 @@ class TestCentroidSemantics:
         assert cost == pytest.approx(1.0)
 
 
+class TestCostValidation:
+    """NaN costs must be rejected on both backends; +inf stays legal."""
+
+    def build(self, backend):
+        graph = nx.MultiDiGraph()
+        graph.add_edge(0, 1, **{LATENCY_ATTR: ConstantLatency(1.0)})
+        graph.add_edge(1, 2, **{LATENCY_ATTR: ConstantLatency(1.0)})
+        graph.add_edge(0, 2, **{LATENCY_ATTR: ConstantLatency(5.0)})
+        return ShortestPathOracle(graph, [Commodity(0, 2, 1.0)], backend=backend)
+
+    def backends(self):
+        return ["python", "scipy"] if have_scipy() else ["python"]
+
+    def test_nan_costs_rejected(self):
+        # ``costs < 0`` is False for NaN, so a bare negativity check would
+        # let NaN through and silently corrupt the Dijkstra distances.
+        for backend in self.backends():
+            oracle = self.build(backend)
+            costs = oracle.free_flow_costs()
+            costs[1] = np.nan
+            with pytest.raises(ValueError, match="NaN"):
+                oracle.shortest_commodity_paths(costs)
+
+    def test_negative_costs_still_rejected(self):
+        for backend in self.backends():
+            oracle = self.build(backend)
+            costs = oracle.free_flow_costs()
+            costs[0] = -1.0
+            with pytest.raises(ValueError, match="non-negative"):
+                oracle.shortest_commodity_paths(costs)
+
+    def test_infinite_costs_stay_legal_and_price_edges_out(self):
+        # +inf is how closures and centroid out-arcs are priced: the edge
+        # must become unusable without tripping the validator.
+        for backend in self.backends():
+            oracle = self.build(backend)
+            costs = oracle.free_flow_costs()
+            costs[oracle.edge_index[(0, 1, 0)]] = np.inf
+            (path,) = oracle.shortest_commodity_paths(costs)
+            assert path.edges == ((0, 2, 0),), backend
+
+
 class TestBackendSelection:
     def test_small_instances_stay_python(self):
         network = braess_network()

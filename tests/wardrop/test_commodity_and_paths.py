@@ -16,6 +16,64 @@ from repro.wardrop.network import LATENCY_ATTR
 from repro.wardrop.paths import Path, PathSet, build_path_set, enumerate_commodity_paths
 
 
+class TestPathSetExtended:
+    """Incremental column append: identity, ordering, and the carried-over
+    edge membership must match a from-scratch build exactly."""
+
+    def build(self):
+        top = Path((("s", "a", 0), ("a", "t", 0)), commodity_index=0)
+        bottom = Path((("s", "b", 0), ("b", "t", 0)), commodity_index=0)
+        direct = Path((("s", "b", 0),), commodity_index=1)
+        detour = Path((("s", "a", 0), ("a", "b", 0)), commodity_index=1)
+        return PathSet([[top], [direct]]), [bottom, detour]
+
+    def test_extended_matches_a_fresh_build(self):
+        base, added = self.build()
+        grown, perm = base.extended(added)
+        fresh = PathSet(
+            [
+                [base.commodity_paths(0)[0], added[0]],
+                [base.commodity_paths(1)[0], added[1]],
+            ]
+        )
+        assert list(grown) == list(fresh)
+        membership = grown.edge_membership()
+        fresh_membership = fresh.edge_membership()
+        assert set(membership) == set(fresh_membership)
+        for edge, indices in fresh_membership.items():
+            assert list(membership[edge]) == list(indices)
+
+    def test_permutation_tracks_every_old_index(self):
+        base, added = self.build()
+        grown, perm = base.extended(added)
+        assert perm.tolist() == [0, 2]  # commodity 1's block shifts by one
+        for old_index, path in enumerate(base):
+            assert grown.index_of(path) == perm[old_index]
+
+    def test_membership_is_carried_over_not_rescanned(self):
+        base, added = self.build()
+        base.edge_membership()  # force the scan on the base set
+        grown, _ = base.extended(added)
+        membership = grown._membership
+        assert membership is not None  # carried over eagerly
+        fresh = PathSet([list(base.commodity_paths(0)) + [added[0]],
+                         list(base.commodity_paths(1)) + [added[1]]])
+        for edge, indices in fresh.edge_membership().items():
+            assert list(membership[edge]) == list(indices)
+
+    def test_empty_extension_returns_self_and_identity(self):
+        base, _ = self.build()
+        grown, perm = base.extended([])
+        assert grown is base
+        assert perm.tolist() == [0, 1]
+
+    def test_unknown_commodity_rejected(self):
+        base, added = self.build()
+        bad = Path((("s", "a", 0),), commodity_index=7)
+        with pytest.raises(ValueError, match="commodity 7"):
+            base.extended([bad])
+
+
 class TestCommodity:
     def test_rejects_non_positive_demand(self):
         with pytest.raises(ValueError):
