@@ -28,6 +28,7 @@ from repro.telemetry.bench import (  # noqa: F401
     bench_timer,
     clear_records,
     collected_records,
+    emit_record,
 )
 
 

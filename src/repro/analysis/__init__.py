@@ -17,6 +17,7 @@ from .metrics import (
     potential_decrease_rate,
     trajectory_summary_row,
 )
+from .network_report import NetworkReport, network_report
 from .oscillation import OscillationReport, analyse_oscillation, phase_start_latency_trace
 from .reporting import format_value, print_table, render_comparison, render_table
 from .sweeps import (
@@ -29,6 +30,7 @@ from .sweeps import (
 
 __all__ = [
     "ConvergenceSummary",
+    "NetworkReport",
     "OscillationReport",
     "PhasePotentialStats",
     "SweepCase",
@@ -42,6 +44,7 @@ __all__ = [
     "final_potential_gap",
     "fluid_limit_deviation",
     "format_value",
+    "network_report",
     "phase_potential_stats",
     "phase_start_latency_trace",
     "potential_decrease_rate",

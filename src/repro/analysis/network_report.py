@@ -1,0 +1,216 @@
+"""Network-level equilibrium reports: per-link, per-OD and system summaries.
+
+The quetzal-style ``analysis_summary`` face of a solved assignment: instead
+of per-engine timings, this module answers "what does the equilibrium
+*look like* on this network?" --
+
+* **per-link**: raw volume, volume/capacity ratio, congested latency vs
+  free flow, sorted most-congested first;
+* **per-OD**: raw demand, shortest-path cost under congested latencies,
+  average experienced latency and active-path count (when a path flow is
+  available), sorted largest-demand first;
+* **system summary**: TSTT, SPTT and the relative duality gap, in both
+  the paper's normalised units and raw TNTP units (vehicle-minutes).
+
+The entry point accepts either a path-based :class:`FlowVector` (scalar /
+batched / column-generation results) or an oracle-order edge-flow vector
+(the edge Frank--Wolfe solver), so every solve mode feeds one report --
+that is what ``repro solve --report`` and ``repro report --network``
+print.
+
+TNTP unit recovery: instances are normalised by their raw total demand
+``R`` (see :mod:`repro.instances.tntp`); volumes and travel times are
+scaled back by ``R`` here, while latencies keep their raw units (minutes)
+throughout.
+
+Imports of :mod:`repro.largescale` are deferred inside functions:
+``repro.telemetry.bench`` imports ``analysis.reporting`` at module load,
+so an eager import here would create a package cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ACTIVE_PATH_THRESHOLD", "NetworkReport", "network_report"]
+
+# A path carrying less than this normalised flow share counts as unused.
+ACTIVE_PATH_THRESHOLD = 1e-9
+
+
+@dataclass
+class NetworkReport:
+    """The assembled report: link rows, OD rows and the system summary."""
+
+    link_rows: List[Dict[str, object]]
+    od_rows: List[Dict[str, object]]
+    summary: Dict[str, Any]
+    truncated_links: int = 0
+    truncated_ods: int = 0
+    title: str = "network report"
+    _sections: List[str] = field(default_factory=list, repr=False)
+
+    def render(self) -> str:
+        """Render the three sections in the repo's table style."""
+        from .reporting import format_value, render_table
+
+        sections: List[str] = []
+        summary_rows = [
+            {"quantity": key, "value": value} for key, value in self.summary.items()
+        ]
+        sections.append(render_table(summary_rows, title=f"{self.title}: summary"))
+        if self.link_rows:
+            note = (
+                f" (top {len(self.link_rows)} of "
+                f"{len(self.link_rows) + self.truncated_links} by v/c)"
+                if self.truncated_links
+                else ""
+            )
+            sections.append(
+                render_table(self.link_rows, title=f"most congested links{note}")
+            )
+        if self.od_rows:
+            note = (
+                f" (top {len(self.od_rows)} of "
+                f"{len(self.od_rows) + self.truncated_ods} by demand)"
+                if self.truncated_ods
+                else ""
+            )
+            sections.append(render_table(self.od_rows, title=f"largest OD pairs{note}"))
+        gap = self.summary.get("relative_gap")
+        if isinstance(gap, float) and gap == gap:
+            sections.append(f"relative duality gap: {format_value(gap)}")
+        return "\n\n".join(sections)
+
+
+def _full_edge_flows(network, oracle, flow, edge_flows) -> np.ndarray:
+    """Resolve the flow input into an oracle-order edge-flow vector."""
+    if (flow is None) == (edge_flows is None):
+        raise ValueError("pass exactly one of flow= or edge_flows=")
+    if flow is not None:
+        return oracle.expand_edge_values(network, flow.edge_flows())
+    values = np.asarray(edge_flows, dtype=float)
+    if len(values) == oracle.num_edges:
+        return values
+    if len(values) == network.num_edges:
+        return oracle.expand_edge_values(network, values)
+    raise ValueError(
+        f"edge_flows has length {len(values)}; expected {oracle.num_edges} "
+        f"(oracle order) or {network.num_edges} (network order)"
+    )
+
+
+def network_report(
+    network,
+    flow=None,
+    edge_flows: Optional[np.ndarray] = None,
+    oracle=None,
+    top_links: int = 10,
+    top_ods: int = 10,
+    title: Optional[str] = None,
+) -> NetworkReport:
+    """Build the per-link / per-OD / summary report of a solved assignment.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.wardrop.network.WardropNetwork` instance.
+    flow:
+        A path-based :class:`~repro.wardrop.flow.FlowVector` (scalar,
+        batched-row or column-generation result).  Mutually exclusive with
+        ``edge_flows``.
+    edge_flows:
+        An edge-flow vector in the oracle's all-graph-edges order (the edge
+        Frank--Wolfe result) or the network's on-path-edges order.
+    oracle:
+        Optional pre-built :class:`ShortestPathOracle` to reuse; built from
+        the network otherwise.
+    top_links / top_ods:
+        Row caps of the two tables (the full row counts stay visible via
+        ``truncated_links`` / ``truncated_ods``).
+    """
+    from ..largescale.shortest import ShortestPathOracle
+    from ..wardrop.latency import BPRLatency
+
+    if oracle is None:
+        oracle = ShortestPathOracle.for_network(network)
+    full_flows = _full_edge_flows(network, oracle, flow, edge_flows)
+    costs = oracle.latency_costs(network, full_flows)
+    free_flow = oracle.free_flow_costs(network)
+    total = float(network.graph.graph.get("total_demand", 1.0))
+    name = network.graph.graph.get("name") or "-"
+
+    # System summary ---------------------------------------------------------
+    tstt = float(np.dot(costs, full_flows))
+    load = oracle.all_or_nothing(costs)
+    sptt = load.sptt
+    relative_gap = tstt / sptt - 1.0 if sptt > 0 else float("nan")
+
+    # Per-link rows ----------------------------------------------------------
+    link_entries = []
+    for i, edge in enumerate(oracle.edges):
+        latency_fn = network.latency_function(edge)
+        if isinstance(latency_fn, BPRLatency) and latency_fn.capacity > 0:
+            vc = full_flows[i] / latency_fn.capacity
+            capacity_raw = latency_fn.capacity * total
+        else:
+            vc = float("nan")
+            capacity_raw = float("nan")
+        link_entries.append(
+            {
+                "link": f"{edge[0]}->{edge[1]}",
+                "volume": full_flows[i] * total,
+                "capacity": capacity_raw,
+                "v/c": vc,
+                "latency": costs[i],
+                "free_flow": free_flow[i],
+                "delay": costs[i] / free_flow[i] if free_flow[i] > 0 else float("nan"),
+            }
+        )
+    # Most congested first; nan v/c (non-BPR links) sorts to the back.
+    link_entries.sort(
+        key=lambda row: -(row["v/c"] if row["v/c"] == row["v/c"] else float("-inf"))
+    )
+    loaded = [row for row in link_entries if row["volume"] > 0 or row["v/c"] == row["v/c"]]
+    link_rows = loaded[:top_links]
+
+    # Per-OD rows ------------------------------------------------------------
+    shortest = oracle.commodity_costs(costs)
+    od_entries = []
+    for i, commodity in enumerate(network.commodities):
+        entry: Dict[str, object] = {
+            "od": network.commodity_label(i),
+            "demand": commodity.demand * total,
+            "shortest_cost": float(shortest[i]),
+        }
+        if flow is not None:
+            entry["avg_latency"] = flow.commodity_average_latency(i)
+            start, stop = network.paths.commodity_slice(i)
+            entry["active_paths"] = int(
+                np.count_nonzero(flow.values()[start:stop] > ACTIVE_PATH_THRESHOLD)
+            )
+        od_entries.append(entry)
+    od_entries.sort(key=lambda row: -float(row["demand"]))  # type: ignore[arg-type]
+    od_rows = od_entries[:top_ods]
+
+    summary: Dict[str, Any] = {
+        "instance": name,
+        "links": oracle.num_edges,
+        "od_pairs": len(network.commodities),
+        "total_demand": total,
+        "tstt": tstt * total,
+        "sptt": sptt * total,
+        "tstt_normalised": tstt,
+        "relative_gap": relative_gap,
+    }
+    return NetworkReport(
+        link_rows=link_rows,
+        od_rows=od_rows,
+        summary=summary,
+        truncated_links=max(len(loaded) - len(link_rows), 0),
+        truncated_ods=max(len(od_entries) - len(od_rows), 0),
+        title=title if title is not None else f"network report: {name}",
+    )

@@ -304,6 +304,7 @@ class BatchAgentSimulator(BatchEnsembleBase):
         run_span = tele.span(
             "engine_run",
             engine="agents-batch",
+            instance=network.graph.graph.get("name") or "-",
             stale=config.stale,
             rows=batch,
             agents=total_agents,

@@ -499,6 +499,7 @@ class BatchSimulator(BatchEnsembleBase):
         run_span = tele.span(
             "engine_run",
             engine="fluid-batch",
+            instance=network.graph.graph.get("name") or "-",
             method=config.method,
             stale=config.stale,
             rows=batch,

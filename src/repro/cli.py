@@ -15,13 +15,19 @@ writing Python:
 * ``oscillate``      -- reproduce the Section 3.2 best-response oscillation
   for a chosen ``beta`` and update period,
 * ``report``         -- render a telemetry trace (or benchmark records with
-  ``--bench``) into per-engine timing and throughput tables.
+  ``--bench``) into per-engine timing and throughput tables, or solve an
+  instance and print its network-level report with ``--network``,
+* ``compare``        -- diff two observability artifacts (traces, bench
+  records or run-ledger files) and flag regressions past a noise threshold.
 
 ``simulate`` and ``sweep`` accept ``--trace PATH`` (write the JSONL span
-trace + metrics snapshot) and ``--metrics`` (print the metrics table;
+trace + metrics snapshot), ``--metrics`` (print the metrics table;
 ``sweep`` additionally merges the flattened metrics into the persisted
-rows); ``sweep --progress`` streams per-case started/finished and
-batch-fusion events to stderr as the runner works.
+rows), ``--profile`` (run the wall-clock sampling profiler and print its
+top self-time table) and ``--ledger DIR`` (append the run's engine records
+to the persistent run ledger; ``REPRO_LEDGER_DIR`` sets the same default);
+``sweep --progress`` streams per-case started/finished and batch-fusion
+events to stderr as the runner works.
 
 Examples::
 
@@ -33,8 +39,11 @@ Examples::
     python -m repro.cli sweep braess --policy uniform --periods 0.05,0.1,0.2 --csv out.csv
     python -m repro.cli sweep pigou-linear,pigou-quadratic --periods 0.1,0.2 --engine batch
     python -m repro.cli sweep sioux-falls --scenario sioux-falls-incident --trace out.jsonl
+    python -m repro.cli solve sioux-falls --edge-flow --report
     python -m repro.cli report out.jsonl
     python -m repro.cli report bench-records.jsonl --bench
+    python -m repro.cli report sioux-falls --network
+    python -m repro.cli compare baseline.jsonl current.jsonl
     python -m repro.cli oscillate --beta 4 --period 0.5
 """
 
@@ -115,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(conjugate/biconjugate FW, edge space -- implies --edge-flow), pg "
         "(path-based projection gradient, path space only)",
     )
+    solve.add_argument(
+        "--report",
+        action="store_true",
+        help="print the network-level report of the solved equilibrium: "
+        "per-link volume and v/c ratio, per-OD costs, TSTT/SPTT summary",
+    )
 
     run = subparsers.add_parser("simulate", help="simulate a rerouting policy under staleness")
     run.add_argument("instance", help="registered instance name")
@@ -162,6 +177,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="collect telemetry metrics during the run and print them as a table",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample the run with the wall-clock profiler and print the top "
+        "self-time locations (samples are included in --trace output)",
+    )
+    run.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="append this run's engine records to the persistent run ledger "
+        "in DIR (the REPRO_LEDGER_DIR environment variable sets the same "
+        "default)",
     )
 
     sweep = subparsers.add_parser(
@@ -239,6 +268,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-case started/finished and batch-fusion events to "
         "stderr while the runner works",
     )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample the sweep with the wall-clock profiler and print the "
+        "top self-time locations (samples are included in --trace output)",
+    )
+    sweep.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="append the sweep's engine records to the persistent run ledger "
+        "in DIR (the REPRO_LEDGER_DIR environment variable sets the same "
+        "default)",
+    )
 
     report = subparsers.add_parser(
         "report", help="render a telemetry trace or benchmark records file"
@@ -246,13 +289,60 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "path",
         help="JSONL file: a telemetry trace (repro-trace/1, from --trace) or "
-        "benchmark timing records (repro-bench/1, with --bench)",
+        "benchmark timing records (repro-bench/1, with --bench); with "
+        "--network, a registered instance name instead",
     )
     report.add_argument(
         "--bench",
         action="store_true",
         help="treat the file as benchmark records and render the "
         "engine x instance throughput matrix",
+    )
+    report.add_argument(
+        "--network",
+        action="store_true",
+        help="treat PATH as a registered instance name: solve its edge-flow "
+        "equilibrium and print the network-level report (per-link v/c, "
+        "per-OD costs, TSTT/SPTT summary)",
+    )
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="compare two observability artifacts and flag regressions",
+        description="Compare two JSONL observability artifacts -- telemetry "
+        "traces (exclusive span self-times), benchmark records or run-ledger "
+        "files (wall time per config fingerprint) -- and print a delta table "
+        "with regression/improvement verdicts past a noise threshold.",
+    )
+    compare.add_argument(
+        "path_a", help="baseline artifact: trace, bench-records or ledger JSONL"
+    )
+    compare.add_argument(
+        "path_b", help="candidate artifact compared against the baseline"
+    )
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="noise threshold for verdicts: slower than baseline x (1 + t) "
+        "flags a regression, faster than x (1 - t) an improvement "
+        "(default 0.15)",
+    )
+    compare.add_argument(
+        "--bench",
+        action="store_true",
+        help="force bench-record comparison instead of auto-detecting",
+    )
+    compare.add_argument(
+        "--trace",
+        action="store_true",
+        help="force trace comparison instead of auto-detecting",
+    )
+    compare.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit with status 1 when any regression is flagged (the "
+        "default exit stays 0 so CI comparisons are non-blocking)",
     )
 
     oscillate = subparsers.add_parser(
@@ -283,6 +373,7 @@ def _cmd_solve(
     tolerance: Optional[float],
     edge_flow: bool = False,
     method: str = "fw",
+    report: bool = False,
 ) -> int:
     network = get_instance(instance)
     if method in ("cfw", "bfw"):
@@ -292,7 +383,8 @@ def _cmd_solve(
         return 2
     if edge_flow:
         return _cmd_solve_edge_flow(
-            instance, network, tolerance if tolerance is not None else 1e-4, method
+            instance, network, tolerance if tolerance is not None else 1e-4, method,
+            report=report,
         )
     result = solve_wardrop_equilibrium(
         network, tolerance=tolerance if tolerance is not None else 1e-8, method=method
@@ -310,10 +402,17 @@ def _cmd_solve(
     print_table(rows, title=f"Wardrop equilibrium of {instance} ({result.method})")
     print(f"potential = {result.potential_value:.6g}, duality gap = {result.duality_gap:.3g}, "
           f"iterations = {result.iterations}, converged = {result.converged}")
+    if report:
+        from .analysis.network_report import network_report
+
+        print()
+        print(network_report(network, flow=result.flow).render())
     return 0
 
 
-def _cmd_solve_edge_flow(instance: str, network, tolerance: float, method: str = "fw") -> int:
+def _cmd_solve_edge_flow(
+    instance: str, network, tolerance: float, method: str = "fw", report: bool = False
+) -> int:
     """Solve in edge-flow space (no path enumeration) and print raw-unit TSTT.
 
     The instance's latencies act on normalised flow shares, so the solver's
@@ -351,6 +450,15 @@ def _cmd_solve_edge_flow(instance: str, network, tolerance: float, method: str =
     print(f"relative duality gap   = {result.relative_gap:.3g}")
     print(f"Beckmann potential     = {result.potential_value:.6g}")
     print(f"iterations = {result.iterations}, converged = {result.converged}")
+    if report:
+        from .analysis.network_report import network_report
+
+        print()
+        print(
+            network_report(
+                network, edge_flows=result.edge_flows, oracle=oracle
+            ).render()
+        )
     return 0
 
 
@@ -367,6 +475,8 @@ def _cmd_simulate(
     scenario_name: Optional[str] = None,
     trace: Optional[str] = None,
     metrics: bool = False,
+    profile: bool = False,
+    ledger: Optional[str] = None,
 ) -> int:
     network = get_instance(instance)
     policy = POLICY_BUILDERS[policy_name](network)
@@ -397,10 +507,18 @@ def _cmd_simulate(
 
     stack = ExitStack()
     tele = None
-    if trace is not None or metrics:
+    if ledger is not None:
+        from .telemetry.ledger import set_ledger_dir
+
+        # Restored after the session exits (LIFO), so the session's ledger
+        # write still sees the override.
+        stack.callback(set_ledger_dir, set_ledger_dir(ledger))
+    if trace is not None or metrics or profile or ledger is not None:
         from .telemetry import telemetry_session
 
-        tele = stack.enter_context(telemetry_session(trace_path=trace))
+        tele = stack.enter_context(
+            telemetry_session(trace_path=trace, profile=profile)
+        )
     with stack:
         if column_generation:
             from .largescale import ActivePathSet, simulate_with_column_generation
@@ -442,6 +560,13 @@ def _cmd_simulate(
                 )
     if metrics and tele is not None:
         print_table(tele.metrics.rows(), title="telemetry metrics")
+    if profile and tele is not None and tele.profiler is not None:
+        print_table(
+            tele.profiler.rows(),
+            title="sampling profiler (top self-time locations)",
+        )
+    if ledger is not None:
+        print(f"ledgered run under {ledger}")
     if trace is not None:
         print(f"wrote trace {trace}")
     report = analyse_oscillation(trajectory)
@@ -529,8 +654,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         row["final_potential"] = potential(trajectory.final_flow)
         return row
 
-    use_telemetry = args.trace is not None or args.metrics or args.progress
+    use_telemetry = (
+        args.trace is not None
+        or args.metrics
+        or args.progress
+        or args.profile
+        or args.ledger is not None
+    )
     if use_telemetry:
+        from contextlib import ExitStack
+
         from .telemetry import telemetry_session
 
         listener = None
@@ -542,7 +675,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     print(f"[{name}] {detail}".rstrip(), file=sys.stderr)
 
         # Persist after the session so --metrics columns reach the files.
-        with telemetry_session(trace_path=args.trace, progress=listener) as tele:
+        with ExitStack() as stack:
+            if args.ledger is not None:
+                from .telemetry.ledger import set_ledger_dir
+
+                stack.callback(set_ledger_dir, set_ledger_dir(args.ledger))
+            tele = stack.enter_context(
+                telemetry_session(
+                    trace_path=args.trace, progress=listener, profile=args.profile
+                )
+            )
             result = run_plan(
                 plan,
                 build_row,
@@ -573,13 +715,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if use_telemetry and args.metrics:
         print_table(tele.metrics.rows(), title="telemetry metrics")
+    if use_telemetry and args.profile and tele.profiler is not None:
+        print_table(
+            tele.profiler.rows(),
+            title="sampling profiler (top self-time locations)",
+        )
+    if args.ledger is not None:
+        print(f"ledgered sweep under {args.ledger}")
     for path in (args.csv, args.jsonl, args.trace):
         if path:
             print(f"wrote {path}")
     return 0
 
 
-def _cmd_report(path: str, bench: bool) -> int:
+def _cmd_report(path: str, bench: bool, network: bool = False) -> int:
+    if bench and network:
+        print("error: --bench and --network are mutually exclusive", file=sys.stderr)
+        return 2
+    if network:
+        return _cmd_report_network(path)
     if bench:
         from .telemetry.bench import (
             gap_matrix_rows,
@@ -588,7 +742,15 @@ def _cmd_report(path: str, bench: bool) -> int:
             render_throughput_matrix,
         )
 
-        records = load_records(path)
+        try:
+            records = load_records(path)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(f"error: {path} is not a valid JSONL records file ({error})",
+                  file=sys.stderr)
+            return 2
         if not records:
             print(f"error: no repro-bench/1 records in {path}", file=sys.stderr)
             return 2
@@ -597,14 +759,86 @@ def _cmd_report(path: str, bench: bool) -> int:
             print()
             print(render_gap_matrix(records))
         return 0
-    from .telemetry.report import load_trace, render_trace_report
+    from .telemetry.report import TraceFormatError, load_trace, render_trace_report
 
     try:
         records = load_trace(path)
-    except OSError as error:
+    except (OSError, TraceFormatError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_trace_report(records, title=path))
+    return 0
+
+
+def _cmd_report_network(instance: str, tolerance: float = 1e-4) -> int:
+    """Solve an instance's edge-flow equilibrium and print its network report."""
+    from .analysis.network_report import network_report
+    from .largescale import ShortestPathOracle
+    from .solvers import solve_edge_flow_equilibrium
+
+    try:
+        network = get_instance(instance)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    oracle = ShortestPathOracle.for_network(network)
+    result = solve_edge_flow_equilibrium(network, tolerance=tolerance, oracle=oracle)
+    print(
+        network_report(network, edge_flows=result.edge_flows, oracle=oracle).render()
+    )
+    print(
+        f"solved with {result.method} in {result.iterations} iterations "
+        f"(converged = {result.converged})"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .telemetry.compare import (
+        CompareError,
+        compare_bench_records,
+        compare_traces,
+        comparison_summary,
+        load_comparable,
+        render_comparison_report,
+    )
+
+    if args.bench and args.trace:
+        print("error: --bench and --trace are mutually exclusive", file=sys.stderr)
+        return 2
+    try:
+        kind_a, records_a = load_comparable(args.path_a)
+        kind_b, records_b = load_comparable(args.path_b)
+    except CompareError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.bench:
+        kind = "bench"
+    elif args.trace:
+        kind = "trace"
+    elif kind_a != kind_b:
+        print(
+            f"error: cannot compare a {kind_a} file against a {kind_b} file "
+            "(use --bench or --trace to force)",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        kind = kind_a
+    if kind == "bench":
+        rows = compare_bench_records(records_a, records_b, threshold=args.threshold)
+    else:
+        rows = compare_traces(records_a, records_b, threshold=args.threshold)
+    print(
+        render_comparison_report(
+            rows,
+            kind,
+            threshold=args.threshold,
+            title=f"{args.path_a} vs {args.path_b}",
+        )
+    )
+    if args.fail_on_regression and comparison_summary(rows)["regression"]:
+        return 1
     return 0
 
 
@@ -631,17 +865,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "describe":
         return _cmd_describe(args.instance)
     if args.command == "solve":
-        return _cmd_solve(args.instance, args.tolerance, args.edge_flow, args.method)
+        return _cmd_solve(
+            args.instance, args.tolerance, args.edge_flow, args.method, args.report
+        )
     if args.command == "simulate":
         return _cmd_simulate(
             args.instance, args.policy, args.period, args.horizon, args.fresh,
             args.method, args.agents, args.seed, args.column_generation,
-            args.scenario, args.trace, args.metrics,
+            args.scenario, args.trace, args.metrics, args.profile, args.ledger,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "report":
-        return _cmd_report(args.path, args.bench)
+        return _cmd_report(args.path, args.bench, args.network)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "oscillate":
         return _cmd_oscillate(args.beta, args.period, args.phases)
     raise AssertionError(f"unhandled command {args.command!r}")

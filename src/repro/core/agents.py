@@ -340,6 +340,7 @@ class AgentBasedSimulator:
         run_span = tele.span(
             "engine_run",
             engine="agents",
+            instance=network.graph.graph.get("name") or "-",
             stale=config.stale,
             agents=n,
             paths=num_paths,

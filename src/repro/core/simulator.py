@@ -113,6 +113,7 @@ class ReroutingSimulator:
         with tele.span(
             "engine_run",
             engine="fluid-scalar",
+            instance=self.network.graph.graph.get("name") or "-",
             method=self.config.method,
             stale=self.config.stale,
             paths=self.network.num_paths,

@@ -474,7 +474,16 @@ def run_cases(
     """
     cases = list(cases)
     tele = get_telemetry()
-    with tele.span("sweep", cases=len(cases), engine=engine):
+    with tele.span("sweep", cases=len(cases), engine=engine) as sweep_span:
+        if tele.enabled and cases:
+            # The sweep's ledger fingerprint keys on which instances it ran.
+            names = sorted(
+                {
+                    str(case.network.graph.graph.get("name") or "-")
+                    for case in cases
+                }
+            )
+            sweep_span.annotate(instance=",".join(names))
         result = SweepResult()
         for rows in _dispatch_rows(cases, row_builder, engine, processes):
             for row in rows:

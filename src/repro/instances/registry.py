@@ -92,7 +92,11 @@ def get_instance(name: str) -> WardropNetwork:
             f"unknown instance {name!r}; available: {', '.join(sorted(_REGISTRY))} "
             "(or 'tntp:<net_path>,<trips_path>' for an external TNTP pair)"
         ) from error
-    return factory()
+    network = factory()
+    # Stamp the registry name so engine_run spans, ledger fingerprints and
+    # network reports can identify the instance (TNTP loaders set their own).
+    network.graph.graph.setdefault("name", name)
+    return network
 
 
 def available_instances() -> List[str]:

@@ -328,6 +328,7 @@ def simulate_with_column_generation_batch(
     run_span = tele.span(
         "engine_run",
         engine="column-generation-batch",
+        instance=network.graph.graph.get("name") or "-",
         stale=stale,
         method=method,
         batch=size,

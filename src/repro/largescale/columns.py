@@ -406,6 +406,7 @@ def simulate_with_column_generation(
     run_span = tele.span(
         "engine_run",
         engine="column-generation",
+        instance=network.graph.graph.get("name") or "-",
         stale=stale,
         method=method,
         initial_paths=network.num_paths,

@@ -449,6 +449,21 @@ class ShortestPathOracle:
                 )
         return results  # type: ignore[return-value]
 
+    def commodity_costs(self, costs: np.ndarray) -> np.ndarray:
+        """Return each commodity's shortest-path cost under ``costs``.
+
+        The per-OD column of the network report: one one-to-many query per
+        distinct source, no path tracing.  Unreachable sinks get ``inf``.
+        """
+        results = np.full(len(self.commodities), INFINITY)
+        maps = self._query_commodity_sources(costs)
+        for source, pairs in self._sinks_by_source.items():
+            distance, _predecessor = maps[source]
+            for commodity_index, sink in pairs:
+                if sink in distance:
+                    results[commodity_index] = float(distance[sink])
+        return results
+
     def all_or_nothing(
         self, costs: np.ndarray, demands: Optional[np.ndarray] = None
     ) -> AllOrNothingLoad:

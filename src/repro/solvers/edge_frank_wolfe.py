@@ -250,6 +250,7 @@ def solve_edge_flow_equilibrium(
     run_span = tele.span(
         "engine_run",
         engine="edge-fw",
+        instance=network.graph.graph.get("name") or "-",
         method=method,
         edges=oracle.num_edges,
         tolerance=tolerance,

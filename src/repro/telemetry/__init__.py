@@ -15,10 +15,32 @@ numerical results either way.
 * :mod:`~repro.telemetry.report` -- renders a trace into per-engine /
   per-phase timing and throughput tables (the ``repro report`` command);
 * :mod:`~repro.telemetry.bench` -- the unified machine-readable timing
-  records of the benchmark harness (one schema, reused by CI).
+  records of the benchmark harness (one schema, reused by CI);
+* :mod:`~repro.telemetry.ledger` -- the persistent append-only run ledger
+  capturing every engine run and bench record across processes;
+* :mod:`~repro.telemetry.compare` -- cross-run regression comparison over
+  traces, bench records and ledgers (the ``repro compare`` command);
+* :mod:`~repro.telemetry.profiler` -- the opt-in wall-clock sampling
+  profiler attributing time to span stacks and code locations.
 """
 
-from .bench import BenchTimer, bench_timer, load_records, render_throughput_matrix
+from .bench import BenchTimer, bench_timer, emit_record, load_records, render_throughput_matrix
+from .compare import (
+    CompareError,
+    compare_bench_records,
+    compare_traces,
+    load_comparable,
+    render_comparison_report,
+)
+from .ledger import (
+    LEDGER_ENV,
+    config_fingerprint,
+    ledger_dir,
+    load_ledger,
+    record_bench,
+    record_session,
+    set_ledger_dir,
+)
 from .metrics import (
     NULL_METRICS,
     Counter,
@@ -28,7 +50,8 @@ from .metrics import (
     NullMetrics,
     Series,
 )
-from .report import load_trace, render_trace_report
+from .profiler import SamplingProfiler, profile_rows
+from .report import TraceFormatError, load_trace, render_trace_report
 from .runtime import (
     NULL_TELEMETRY,
     Telemetry,
@@ -41,8 +64,21 @@ from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 __all__ = [
     "BenchTimer",
     "bench_timer",
+    "emit_record",
     "load_records",
     "render_throughput_matrix",
+    "CompareError",
+    "compare_bench_records",
+    "compare_traces",
+    "load_comparable",
+    "render_comparison_report",
+    "LEDGER_ENV",
+    "config_fingerprint",
+    "ledger_dir",
+    "load_ledger",
+    "record_bench",
+    "record_session",
+    "set_ledger_dir",
     "Counter",
     "Gauge",
     "Histogram",
@@ -50,6 +86,9 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "SamplingProfiler",
+    "profile_rows",
+    "TraceFormatError",
     "load_trace",
     "render_trace_report",
     "Telemetry",

@@ -39,6 +39,7 @@ __all__ = [
     "RECORDS_ENV",
     "BenchTimer",
     "bench_timer",
+    "emit_record",
     "collected_records",
     "clear_records",
     "load_records",
@@ -77,8 +78,15 @@ class BenchTimer:
 
     @property
     def rate(self) -> float:
-        """Cases per second of the timed block (nan before exit)."""
-        return self.cases / self.seconds if self.seconds > 0 else float("nan")
+        """Cases per second of the timed block.
+
+        ``nan`` before exit, on a zero-elapsed block (timer granularity), or
+        when the block timed zero items -- never a division error or a
+        misleading infinite rate.
+        """
+        if self.seconds <= 0 or self.cases <= 0:
+            return float("nan")
+        return self.cases / self.seconds
 
     def __enter__(self) -> "BenchTimer":
         self._begin = time.perf_counter()
@@ -116,12 +124,16 @@ def bench_timer(
 
 
 def emit_record(record: Dict[str, Any]) -> None:
-    """Collect one record in-process and append it to the records file."""
+    """Collect one record in-process, append it to the records file, and
+    ledger it when a run ledger is configured."""
     _records.append(record)
     path = os.environ.get(RECORDS_ENV)
     if path:
         with open(path, "a") as handle:
             handle.write(json.dumps(record, default=str) + "\n")
+    from .ledger import record_bench
+
+    record_bench(record)
 
 
 def collected_records() -> List[Dict[str, Any]]:

@@ -55,15 +55,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming count/sum/min/max summary of observed values."""
+    """Count/sum/min/max/percentile summary of observed values.
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    Samples are retained (engines observe at phase boundaries, so the
+    volume is a handful of values per run, never per sub-step), which keeps
+    the percentiles exact rather than bucketed.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "samples")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self.samples: List[float] = []
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -73,10 +79,24 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (linear interpolation); nan when empty."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100.0) * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 class Series:
@@ -182,6 +202,8 @@ class MetricsRegistry:
                     "count": histogram.count,
                     "min": histogram.minimum if histogram.count else float("nan"),
                     "max": histogram.maximum if histogram.count else float("nan"),
+                    "p50": histogram.percentile(50.0),
+                    "p95": histogram.percentile(95.0),
                 }
             )
         for name in sorted(self.series):
@@ -208,6 +230,8 @@ class MetricsRegistry:
                     "total": h.total,
                     "min": h.minimum if h.count else None,
                     "max": h.maximum if h.count else None,
+                    "p50": h.percentile(50.0) if h.count else None,
+                    "p95": h.percentile(95.0) if h.count else None,
                 }
                 for name, h in self.histograms.items()
             },
@@ -235,6 +259,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return float("nan")
 
     def append(self, x: float, y: float) -> None:
         pass

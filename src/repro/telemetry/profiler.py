@@ -1,0 +1,206 @@
+"""Opt-in wall-clock sampling profiler attributing time to span stacks.
+
+Span tracing tells you how long each *instrumented* region took, but not
+*where inside it* the time went -- the spans are opened at phase
+boundaries, never inside numerical kernels.  The sampling profiler fills
+that gap without touching the engines: a daemon thread wakes every few
+milliseconds, reads the profiled thread's current Python frame via
+:func:`sys._current_frames`, and records the pair
+
+    (active span stack, top-of-stack code location)
+
+so the report can say "62% of ``engine_run > phase`` wall time is in
+``shortest.py:211 all_or_nothing``".  Sampling is statistical: the cost is
+one frame lookup per tick *on the profiler thread*, so the profiled code
+runs unmodified and the <2% disabled-overhead guarantee is untouched (the
+profiler only exists when ``telemetry_session(profile=True)`` or the CLI
+``--profile`` flag asks for it).
+
+Samples ride along in the exported trace as one ``profile`` record, and
+``repro report`` renders the top-N self-time table.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["PROFILE_KIND", "SamplingProfiler", "profile_rows"]
+
+PROFILE_KIND = "profile"
+
+# (span stack names, "file.py:lineno function") -> sample count
+_SampleKey = Tuple[Tuple[str, ...], str]
+
+
+def _short_path(filename: str) -> str:
+    """Trim a source path to its last two components for readable tables."""
+    parts = filename.replace("\\", "/").rsplit("/", 2)
+    return "/".join(parts[-2:]) if len(parts) > 1 else filename
+
+
+class SamplingProfiler:
+    """Background-thread wall-clock sampler for one Python thread.
+
+    Samples the *creating* thread by default (the one running the engines);
+    pass ``thread_id`` to profile another.  ``tracer`` (optional) supplies
+    the active span stack so each sample carries the instrumented context
+    it landed in.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        tracer=None,
+        thread_id: Optional[int] = None,
+    ):
+        self.interval = float(interval)
+        self.tracer = tracer
+        self.thread_id = (
+            thread_id if thread_id is not None else threading.get_ident()
+        )
+        self.samples: Dict[_SampleKey, int] = {}
+        self.total_samples = 0
+        self.elapsed = 0.0
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._begin = 0.0
+
+    # Lifecycle --------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Start the sampler thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._begin = time.perf_counter()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop the sampler and record the profiled wall time (idempotent)."""
+        if self._thread is None:
+            return self
+        self._stop_event.set()
+        self._thread.join(timeout=1.0)
+        self._thread = None
+        self.elapsed += time.perf_counter() - self._begin
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self._sample_once()
+
+    # Sampling ---------------------------------------------------------------
+
+    def _span_stack(self) -> Tuple[str, ...]:
+        stack = getattr(self.tracer, "_stack", None)
+        if not stack:
+            return ()
+        try:
+            return tuple(span.name for span in list(stack))
+        except (AttributeError, TypeError):  # pragma: no cover - race guard
+            return ()
+
+    def _sample_once(self) -> None:
+        frame = sys._current_frames().get(self.thread_id)
+        if frame is None:
+            return
+        code = frame.f_code
+        location = f"{_short_path(code.co_filename)}:{frame.f_lineno} {code.co_name}"
+        key = (self._span_stack(), location)
+        self.samples[key] = self.samples.get(key, 0) + 1
+        self.total_samples += 1
+
+    # Reporting --------------------------------------------------------------
+
+    def rows(self, top: int = 15) -> List[Dict[str, object]]:
+        """Top-N locations by sample count, with span context and est. time."""
+        by_location: Dict[Tuple[str, str], int] = {}
+        for (stack, location), count in self.samples.items():
+            spans = " > ".join(stack) if stack else "-"
+            key = (location, spans)
+            by_location[key] = by_location.get(key, 0) + count
+        total = self.total_samples
+        rows: List[Dict[str, object]] = []
+        for (location, spans), count in sorted(
+            by_location.items(), key=lambda item: -item[1]
+        )[:top]:
+            rows.append(
+                {
+                    "location": location,
+                    "spans": spans,
+                    "samples": count,
+                    "share": count / total if total else float("nan"),
+                    "est_seconds": (
+                        self.elapsed * count / total if total else float("nan")
+                    ),
+                }
+            )
+        return rows
+
+    def records(self) -> List[Dict[str, Any]]:
+        """One ``profile`` trace record holding every aggregated sample."""
+        entries = [
+            {"stack": list(stack), "location": location, "samples": count}
+            for (stack, location), count in sorted(
+                self.samples.items(), key=lambda item: -item[1]
+            )
+        ]
+        return [
+            {
+                "kind": PROFILE_KIND,
+                "interval": self.interval,
+                "samples": self.total_samples,
+                "elapsed": self.elapsed,
+                "entries": entries,
+            }
+        ]
+
+
+def profile_rows(records, top: int = 15) -> List[Dict[str, object]]:
+    """Build the top-N profiler table from ``profile`` trace records."""
+    by_location: Dict[Tuple[str, str], int] = {}
+    total = 0
+    elapsed = 0.0
+    found = False
+    for record in records:
+        if record.get("kind") != PROFILE_KIND:
+            continue
+        found = True
+        total += int(record.get("samples", 0))
+        elapsed += float(record.get("elapsed", 0.0))
+        for entry in record.get("entries", ()):
+            stack = entry.get("stack") or ()
+            spans = " > ".join(stack) if stack else "-"
+            key = (str(entry.get("location", "?")), spans)
+            by_location[key] = by_location.get(key, 0) + int(
+                entry.get("samples", 0)
+            )
+    if not found:
+        return []
+    rows: List[Dict[str, object]] = []
+    for (location, spans), count in sorted(
+        by_location.items(), key=lambda item: -item[1]
+    )[:top]:
+        rows.append(
+            {
+                "location": location,
+                "spans": spans,
+                "samples": count,
+                "share": count / total if total else float("nan"),
+                "est_seconds": elapsed * count / total if total else float("nan"),
+            }
+        )
+    return rows

@@ -21,8 +21,11 @@ import json
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis.reporting import render_table
+from .profiler import profile_rows
 
 __all__ = [
+    "TRACE_SCHEMA",
+    "TraceFormatError",
     "load_trace",
     "engine_run_rows",
     "span_breakdown_rows",
@@ -31,13 +34,49 @@ __all__ = [
     "render_trace_report",
 ]
 
+TRACE_SCHEMA = "repro-trace/1"
+
 Record = Dict[str, Any]
 
 
+class TraceFormatError(ValueError):
+    """A trace file exists but cannot be understood as a repro trace."""
+
+
 def load_trace(path) -> List[Record]:
-    """Load a JSONL trace file into a list of record dicts."""
+    """Load a JSONL trace file into a list of record dicts.
+
+    Raises :class:`TraceFormatError` (with the offending line number) on an
+    empty file, malformed JSON, or a ``meta`` header declaring a different
+    trace schema version -- the CLI turns these into one-line errors.
+    """
+    records: List[Record] = []
     with open(path) as handle:
-        return [json.loads(line) for line in handle if line.strip()]
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(
+                    f"{path}: line {number} is not valid JSON ({error.msg})"
+                ) from error
+            if not isinstance(record, dict):
+                raise TraceFormatError(
+                    f"{path}: line {number} is not a JSON object"
+                )
+            records.append(record)
+    if not records:
+        raise TraceFormatError(f"{path}: empty trace file")
+    first = records[0]
+    if first.get("kind") == "meta":
+        schema = first.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise TraceFormatError(
+                f"{path}: trace schema {schema!r} is not supported "
+                f"(expected {TRACE_SCHEMA!r})"
+            )
+    return records
 
 
 def _spans(records: Sequence[Record]) -> List[Record]:
@@ -77,7 +116,7 @@ def engine_run_rows(records: Sequence[Record]) -> List[Dict[str, object]]:
             "phases": phases,
             "phases/sec": phases / duration if duration > 0 and phases else float("nan"),
         }
-        for key in ("rows", "paths", "method", "stale", "agents", "edges"):
+        for key in ("instance", "rows", "paths", "method", "stale", "agents", "edges", "seed"):
             if key in attrs:
                 row[key] = attrs[key]
         rows.append(row)
@@ -158,6 +197,8 @@ def metrics_rows(records: Sequence[Record]) -> List[Dict[str, object]]:
                     "count": count,
                     "min": histogram.get("min"),
                     "max": histogram.get("max"),
+                    "p50": histogram.get("p50"),
+                    "p95": histogram.get("p95"),
                 }
             )
         for name in sorted(record.get("series", {})):
@@ -199,6 +240,11 @@ def render_trace_report(records: Sequence[Record], title: str = "trace report") 
     events = event_rows(records)
     if events:
         sections.append(render_table(events, title="events"))
+    profile = profile_rows(records)
+    if profile:
+        sections.append(
+            render_table(profile, title="sampling profiler (top self-time locations)")
+        )
     if not sections:
         sections.append("(empty trace)")
     return "\n\n".join(sections)

@@ -49,6 +49,9 @@ class Telemetry:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.listeners: List[ProgressListener] = []
+        # Set by telemetry_session(profile=True); its records ride along in
+        # the exported trace and `repro report` renders them.
+        self.profiler = None
 
     @property
     def enabled(self) -> bool:
@@ -84,8 +87,12 @@ class Telemetry:
     # Export -----------------------------------------------------------------
 
     def write_trace(self, path) -> None:
-        """Write the JSONL trace: spans + events, then the metrics snapshot."""
-        self.tracer.write_jsonl(path, extra_records=[self.metrics.to_record()])
+        """Write the JSONL trace: spans + events, then the metrics snapshot
+        (and, when a profiler ran, its sample records)."""
+        extra = [self.metrics.to_record()]
+        if self.profiler is not None:
+            extra.extend(self.profiler.records())
+        self.tracer.write_jsonl(path, extra_records=extra)
 
 
 class _NullTelemetry(Telemetry):
@@ -135,6 +142,8 @@ def telemetry_session(
     trace_path=None,
     progress: Optional[ProgressListener] = None,
     telemetry: Optional[Telemetry] = None,
+    profile: bool = False,
+    profile_interval: float = 0.005,
 ) -> Iterator[Telemetry]:
     """Activate a telemetry session for the duration of a ``with`` block.
 
@@ -142,17 +151,34 @@ def telemetry_session(
     on exit -- also on exceptions, so aborted runs keep their partial trace.
     ``progress`` registers an event listener.  ``telemetry`` reuses an
     existing session object instead of building a fresh one (e.g. to share
-    one registry across several blocks).
+    one registry across several blocks).  ``profile`` starts the sampling
+    profiler for the block; its samples land in the exported trace.
+
+    On exit the session's engine runs are also appended to the run ledger
+    when one is configured (``REPRO_LEDGER_DIR`` or ``--ledger``); see
+    :mod:`repro.telemetry.ledger`.
     """
     session = telemetry if telemetry is not None else Telemetry()
     if progress is not None:
         session.listeners.append(progress)
+    if profile:
+        from .profiler import SamplingProfiler
+
+        session.profiler = SamplingProfiler(
+            interval=profile_interval, tracer=session.tracer
+        )
+        session.profiler.start()
     previous = set_telemetry(session)
     try:
         yield session
     finally:
         set_telemetry(previous)
+        if session.profiler is not None:
+            session.profiler.stop()
         if progress is not None and progress in session.listeners:
             session.listeners.remove(progress)
         if trace_path is not None:
             session.write_trace(trace_path)
+        from .ledger import record_session
+
+        record_session(session)

@@ -1,0 +1,101 @@
+"""Network-level reports: link/OD/summary content and the TSTT reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import network_report
+from repro.instances import get_instance
+from repro.instances.tntp import SIOUX_FALLS_REFERENCE_TSTT
+from repro.largescale.shortest import ShortestPathOracle
+from repro.solvers import solve_edge_flow_equilibrium, solve_wardrop_equilibrium
+
+
+@pytest.fixture(scope="module")
+def sioux_falls_solution():
+    network = get_instance("sioux-falls")
+    oracle = ShortestPathOracle.for_network(network)
+    result = solve_edge_flow_equilibrium(
+        network, oracle=oracle, tolerance=1e-4, max_iterations=2000
+    )
+    return network, oracle, result
+
+
+class TestSiouxFallsReference:
+    def test_tstt_matches_recorded_reference_within_half_percent(
+        self, sioux_falls_solution
+    ):
+        network, oracle, result = sioux_falls_solution
+        report = network_report(
+            network, edge_flows=result.edge_flows, oracle=oracle
+        )
+        tstt = report.summary["tstt"]
+        assert abs(tstt - SIOUX_FALLS_REFERENCE_TSTT) / SIOUX_FALLS_REFERENCE_TSTT < 0.005
+
+    def test_summary_shape(self, sioux_falls_solution):
+        network, oracle, result = sioux_falls_solution
+        report = network_report(network, edge_flows=result.edge_flows, oracle=oracle)
+        assert report.summary["instance"] == "sioux-falls"
+        assert report.summary["links"] == 76
+        assert report.summary["od_pairs"] == len(network.commodities)
+        assert report.summary["relative_gap"] < 1e-3
+        assert report.summary["sptt"] <= report.summary["tstt"]
+
+    def test_link_rows_sorted_by_congestion(self, sioux_falls_solution):
+        network, oracle, result = sioux_falls_solution
+        report = network_report(
+            network, edge_flows=result.edge_flows, oracle=oracle, top_links=5
+        )
+        ratios = [row["v/c"] for row in report.link_rows]
+        assert ratios == sorted(ratios, reverse=True)
+        assert report.truncated_links > 0
+        for row in report.link_rows:
+            assert row["latency"] >= row["free_flow"] > 0
+            assert row["delay"] >= 1.0
+
+
+class TestPathFlowReports:
+    def test_flow_vector_report_includes_od_detail(self):
+        network = get_instance("braess")
+        result = solve_wardrop_equilibrium(network, tolerance=1e-6)
+        report = network_report(network, flow=result.flow)
+        (od_row,) = report.od_rows
+        assert od_row["active_paths"] >= 1
+        assert od_row["avg_latency"] == pytest.approx(
+            od_row["shortest_cost"], rel=1e-3
+        )
+
+    def test_render_contains_all_sections(self):
+        network = get_instance("braess")
+        result = solve_wardrop_equilibrium(network, tolerance=1e-6)
+        text = network_report(network, flow=result.flow).render()
+        assert "network report: braess: summary" in text
+        assert "most congested links" in text
+        assert "largest OD pairs" in text
+        assert "relative duality gap" in text
+
+
+class TestInputValidation:
+    def test_exactly_one_flow_input_required(self):
+        network = get_instance("two-links")
+        with pytest.raises(ValueError, match="exactly one"):
+            network_report(network)
+
+    def test_network_order_edge_flows_are_expanded(self):
+        network = get_instance("braess")
+        oracle = ShortestPathOracle.for_network(network)
+        result = solve_wardrop_equilibrium(network, tolerance=1e-6)
+        network_order = result.flow.edge_flows()
+        by_network = network_report(network, edge_flows=network_order, oracle=oracle)
+        by_oracle = network_report(
+            network,
+            edge_flows=oracle.expand_edge_values(network, network_order),
+            oracle=oracle,
+        )
+        assert by_network.summary["tstt"] == pytest.approx(by_oracle.summary["tstt"])
+
+    def test_wrong_length_edge_flows_rejected(self):
+        network = get_instance("two-links")
+        with pytest.raises(ValueError, match="length"):
+            network_report(network, edge_flows=np.zeros(99))

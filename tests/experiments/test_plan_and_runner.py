@@ -478,7 +478,11 @@ class TestRunnerTelemetry:
         _, tele = self.collect_events("serial")
         sweeps = [r for r in tele.tracer.records() if r["name"] == "sweep"]
         assert len(sweeps) == 1
-        assert sweeps[0]["attrs"] == {"cases": 4, "engine": "serial"}
+        assert sweeps[0]["attrs"] == {
+            "cases": 4,
+            "engine": "serial",
+            "instance": "-",
+        }
         # Every engine_run span nests under the sweep span.
         runs = [r for r in tele.tracer.records() if r["name"] == "engine_run"]
         assert runs and all(r["parent"] == sweeps[0]["id"] for r in runs)

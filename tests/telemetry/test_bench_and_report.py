@@ -182,3 +182,36 @@ class TestTraceReport:
 
     def test_render_empty_trace(self):
         assert render_trace_report([]) == "(empty trace)"
+
+
+class TestRateGuards:
+    """Degenerate timings yield nan rates, never division errors or inf."""
+
+    def test_rate_is_nan_before_the_block_exits(self):
+        timer = bench_timer("b", "s", cases=8)
+        assert timer.rate != timer.rate
+
+    def test_zero_elapsed_block_has_nan_rate(self):
+        timer = bench_timer("b", "s", cases=8)
+        timer.seconds = 0.0
+        assert timer.rate != timer.rate
+
+    def test_zero_cases_has_nan_rate(self):
+        timer = bench_timer("b", "s", cases=0)
+        timer.seconds = 1.0
+        assert timer.rate != timer.rate
+
+    def test_normal_block_has_finite_rate(self):
+        with bench_timer("b", "s", cases=4) as timer:
+            sum(range(1000))
+        assert timer.rate > 0
+
+    def test_nan_rate_records_are_skipped_by_the_matrix(self):
+        records = [
+            {"schema": BENCH_SCHEMA, "engine": "e", "instance": "i",
+             "cases": 0, "seconds": 1.0, "rate": float("nan")},
+            {"schema": BENCH_SCHEMA, "engine": "e", "instance": "i",
+             "cases": 4, "seconds": 1.0, "rate": 4.0},
+        ]
+        (row,) = throughput_matrix_rows(records)
+        assert row["i"] == 4.0

@@ -1,0 +1,221 @@
+"""Cross-run comparison: self times, fingerprint diffs, verdicts, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.compare import (
+    CompareError,
+    compare_bench_records,
+    compare_traces,
+    comparison_summary,
+    detect_kind,
+    load_comparable,
+    render_comparison_report,
+    self_time_totals,
+)
+
+
+def _bench_record(**overrides):
+    record = {
+        "schema": "repro-bench/1",
+        "bench": "bench_x",
+        "section": "warm",
+        "engine": "fluid-batch",
+        "instance": "two-links",
+        "cases": 8,
+        "seconds": 1.0,
+        "rate": 8.0,
+    }
+    record.update(overrides)
+    return record
+
+
+def _write_jsonl(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestSelfTime:
+    def test_exclusive_time_subtracts_direct_children(self):
+        records = [
+            {"kind": "span", "name": "engine_run", "id": 0, "parent": None, "dur": 1.0},
+            {"kind": "span", "name": "phase", "id": 1, "parent": 0, "dur": 0.6},
+            {"kind": "span", "name": "integrate", "id": 2, "parent": 1, "dur": 0.5},
+        ]
+        totals = self_time_totals(records)
+        assert totals["engine_run"] == pytest.approx(0.4)
+        assert totals["phase"] == pytest.approx(0.1)
+        assert totals["integrate"] == pytest.approx(0.5)
+
+    def test_negative_self_time_clamps_to_zero(self):
+        records = [
+            {"kind": "span", "name": "parent", "id": 0, "parent": None, "dur": 1.0},
+            {"kind": "span", "name": "child", "id": 1, "parent": 0, "dur": 1.1},
+        ]
+        assert self_time_totals(records)["parent"] == 0.0
+
+
+class TestBenchComparison:
+    def test_identical_files_report_zero_regressions(self):
+        records = [_bench_record(), _bench_record(engine="edge-fw", method="bfw")]
+        rows = compare_bench_records(records, [dict(r) for r in records])
+        summary = comparison_summary(rows)
+        assert summary["regression"] == 0
+        assert summary["improvement"] == 0
+        assert summary["ok"] == 2
+
+    def test_doubled_seconds_flags_exactly_the_slowed_entries(self):
+        baseline = [
+            _bench_record(),
+            _bench_record(engine="edge-fw", method="bfw", seconds=2.0, gap=1e-4),
+            _bench_record(engine="agents-batch", seconds=3.0),
+        ]
+        current = [dict(r) for r in baseline]
+        current[1]["seconds"] *= 2  # only the edge-fw entry slows down
+        rows = compare_bench_records(baseline, current)
+        verdicts = {str(row["entry"]): row["verdict"] for row in rows}
+        flagged = [entry for entry, verdict in verdicts.items() if verdict == "regression"]
+        assert len(flagged) == 1
+        assert "edge-fw" in flagged[0]
+
+    def test_improvement_is_reported_too(self):
+        baseline = [_bench_record(seconds=2.0)]
+        current = [_bench_record(seconds=1.0)]
+        (row,) = compare_bench_records(baseline, current)
+        assert row["verdict"] == "improvement"
+        assert row["delta"] == pytest.approx(-0.5)
+
+    def test_within_threshold_is_ok(self):
+        baseline = [_bench_record(seconds=1.0)]
+        current = [_bench_record(seconds=1.1)]
+        (row,) = compare_bench_records(baseline, current)
+        assert row["verdict"] == "ok"
+
+    def test_unmatched_entries_are_informational(self):
+        baseline = [_bench_record()]
+        current = [_bench_record(engine="edge-fw")]
+        rows = compare_bench_records(baseline, current)
+        assert sorted(str(row["verdict"]) for row in rows) == ["only-a", "only-b"]
+        assert comparison_summary(rows)["regression"] == 0
+
+    def test_best_of_repeated_runs_is_compared(self):
+        baseline = [_bench_record(seconds=5.0), _bench_record(seconds=1.0)]
+        current = [_bench_record(seconds=1.05)]
+        (row,) = compare_bench_records(baseline, current)
+        assert row["seconds_a"] == pytest.approx(1.0)
+        assert row["verdict"] == "ok"
+
+
+class TestTraceComparison:
+    def test_doubled_span_is_a_regression(self):
+        trace_a = [
+            {"kind": "meta", "schema": "repro-trace/1"},
+            {"kind": "span", "name": "phase", "id": 0, "parent": None, "dur": 1.0},
+        ]
+        trace_b = [
+            {"kind": "meta", "schema": "repro-trace/1"},
+            {"kind": "span", "name": "phase", "id": 0, "parent": None, "dur": 2.0},
+        ]
+        (row,) = compare_traces(trace_a, trace_b)
+        assert row["span"] == "phase"
+        assert row["verdict"] == "regression"
+
+    def test_sub_millisecond_noise_is_ok(self):
+        trace_a = [{"kind": "span", "name": "tiny", "id": 0, "parent": None, "dur": 1e-5}]
+        trace_b = [{"kind": "span", "name": "tiny", "id": 0, "parent": None, "dur": 9e-4}]
+        (row,) = compare_traces(trace_a, trace_b)
+        assert row["verdict"] == "ok"
+
+
+class TestDetection:
+    def test_detects_trace_by_meta_header(self):
+        assert detect_kind([{"kind": "meta", "schema": "repro-trace/1"}]) == "trace"
+
+    def test_detects_bench_by_schema(self):
+        assert detect_kind([_bench_record()]) == "bench"
+
+    def test_detects_ledger_as_bench(self):
+        assert (
+            detect_kind([{"schema": "repro-ledger/1", "kind": "engine_run"}]) == "bench"
+        )
+
+    def test_unknown_records_raise(self):
+        with pytest.raises(CompareError):
+            detect_kind([{"what": "is this"}])
+
+    def test_load_comparable_errors_on_missing_and_empty(self, tmp_path):
+        with pytest.raises(CompareError):
+            load_comparable(tmp_path / "missing.jsonl")
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(CompareError):
+            load_comparable(empty)
+
+    def test_load_comparable_errors_on_bad_json(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "repro-bench/1"}\nnot json\n')
+        with pytest.raises(CompareError, match="line 2"):
+            load_comparable(bad)
+
+
+class TestRendering:
+    def test_report_contains_table_and_summary_line(self):
+        rows = compare_bench_records([_bench_record()], [_bench_record(seconds=3.0)])
+        text = render_comparison_report(rows, "bench")
+        assert "regression" in text
+        assert "summary: 1 regression(s)" in text
+
+    def test_gap_columns_survive_mixed_rows(self):
+        baseline = [
+            _bench_record(),
+            _bench_record(engine="edge-fw", method="bfw", gap=1e-4),
+        ]
+        text = render_comparison_report(
+            compare_bench_records(baseline, baseline), "bench"
+        )
+        assert "gap_a" in text
+
+
+class TestCompareCli:
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        records = [_bench_record()]
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _write_jsonl(a, records)
+        _write_jsonl(b, records)
+        assert main(["compare", str(a), str(b), "--fail-on-regression"]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_regression_fails_only_with_flag(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _write_jsonl(a, [_bench_record(seconds=1.0)])
+        _write_jsonl(b, [_bench_record(seconds=2.0)])
+        assert main(["compare", str(a), str(b)]) == 0
+        assert main(["compare", str(a), str(b), "--fail-on-regression"]) == 1
+        capsys.readouterr()
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        _write_jsonl(a, [_bench_record()])
+        assert main(["compare", str(a), str(tmp_path / "missing.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_mixed_kinds_error_without_force(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _write_jsonl(a, [_bench_record()])
+        _write_jsonl(b, [{"kind": "meta", "schema": "repro-trace/1"},
+                         {"kind": "span", "name": "phase", "id": 0, "parent": None, "dur": 1.0}])
+        assert main(["compare", str(a), str(b)]) == 2
+        assert "cannot compare" in capsys.readouterr().err
+
+    def test_custom_threshold(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _write_jsonl(a, [_bench_record(seconds=1.0)])
+        _write_jsonl(b, [_bench_record(seconds=1.3)])
+        assert main(["compare", str(a), str(b), "--threshold", "0.5",
+                     "--fail-on-regression"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,124 @@
+"""The sampling profiler: lifecycle, sample attribution, trace round-trip."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.telemetry import telemetry_session
+from repro.telemetry.profiler import PROFILE_KIND, SamplingProfiler, profile_rows
+from repro.telemetry.report import load_trace
+
+
+def _busy_wait(seconds: float) -> float:
+    deadline = time.perf_counter() + seconds
+    total = 0.0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestLifecycle:
+    def test_start_and_stop_are_idempotent(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start().start()
+        _busy_wait(0.03)
+        profiler.stop().stop()
+        assert profiler._thread is None
+        assert profiler.elapsed > 0
+
+    def test_context_manager_collects_samples(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy_wait(0.05)
+        assert profiler.total_samples > 0
+        assert sum(profiler.samples.values()) == profiler.total_samples
+
+    def test_stop_without_start_is_a_noop(self):
+        profiler = SamplingProfiler()
+        profiler.stop()
+        assert profiler.total_samples == 0
+
+
+class TestAttribution:
+    def test_samples_carry_location_and_rows_sum_to_total(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy_wait(0.05)
+        rows = profiler.rows(top=100)
+        assert rows
+        assert any("test_profiler" in str(row["location"]) for row in rows)
+        assert sum(row["samples"] for row in rows) == profiler.total_samples
+        assert abs(sum(row["share"] for row in rows) - 1.0) < 1e-9
+
+    def test_samples_attribute_to_active_span_stack(self):
+        with telemetry_session() as tele:
+            profiler = SamplingProfiler(interval=0.001, tracer=tele.tracer)
+            profiler.start()
+            with tele.span("engine_run"):
+                with tele.span("phase"):
+                    _busy_wait(0.05)
+            profiler.stop()
+        stacks = {stack for stack, _location in profiler.samples}
+        assert ("engine_run", "phase") in stacks
+
+    def test_rows_respect_top_limit(self):
+        profiler = SamplingProfiler()
+        for i in range(20):
+            profiler.samples[((), f"file.py:{i} fn")] = i + 1
+            profiler.total_samples += i + 1
+        assert len(profiler.rows(top=5)) == 5
+
+
+class TestTraceRoundTrip:
+    def test_profile_record_shape(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy_wait(0.03)
+        (record,) = profiler.records()
+        assert record["kind"] == PROFILE_KIND
+        assert record["samples"] == profiler.total_samples
+        assert record["elapsed"] > 0
+        assert all(
+            set(entry) == {"stack", "location", "samples"}
+            for entry in record["entries"]
+        )
+
+    def test_profile_rows_aggregates_records(self):
+        records = [
+            {
+                "kind": PROFILE_KIND,
+                "interval": 0.005,
+                "samples": 10,
+                "elapsed": 1.0,
+                "entries": [
+                    {"stack": ["engine_run"], "location": "a.py:1 f", "samples": 6},
+                    {"stack": [], "location": "b.py:2 g", "samples": 4},
+                ],
+            }
+        ]
+        rows = profile_rows(records)
+        assert rows[0]["location"] == "a.py:1 f"
+        assert rows[0]["spans"] == "engine_run"
+        assert rows[0]["est_seconds"] == 0.6
+        assert rows[1]["spans"] == "-"
+
+    def test_profile_rows_empty_without_profile_records(self):
+        assert profile_rows([{"kind": "span", "name": "x"}]) == []
+
+    def test_session_writes_profile_record_into_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with telemetry_session(trace_path=trace, profile=True, profile_interval=0.001):
+            _busy_wait(0.05)
+        records = load_trace(trace)
+        profiles = [r for r in records if r.get("kind") == PROFILE_KIND]
+        assert len(profiles) == 1
+        assert profiles[0]["samples"] > 0
+        # And the written line is valid standalone JSON.
+        lines = trace.read_text().splitlines()
+        assert any(json.loads(line).get("kind") == PROFILE_KIND for line in lines)
+
+    def test_session_without_profile_has_no_profiler(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with telemetry_session(trace_path=trace) as tele:
+            pass
+        assert tele.profiler is None
+        records = load_trace(trace)
+        assert not [r for r in records if r.get("kind") == PROFILE_KIND]

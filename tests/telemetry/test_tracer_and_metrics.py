@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 import math
 
+import pytest
+
 from repro.telemetry import (
     NULL_METRICS,
     NULL_TRACER,
@@ -183,3 +185,45 @@ class TestMetricsRegistry:
         assert NULL_METRICS.counter("a").value == 0.0
         assert NULL_METRICS.flatten() == {}
         assert NULL_METRICS.rows() == []
+
+
+class TestHistogramPercentiles:
+    def test_percentile_interpolates_sorted_samples(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]:
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(100.0) == 10.0
+        assert histogram.percentile(50.0) == 5.5
+        assert histogram.percentile(95.0) == pytest.approx(9.55)
+
+    def test_percentile_of_empty_histogram_is_nan(self):
+        registry = MetricsRegistry()
+        assert math.isnan(registry.histogram("unused").percentile(50.0))
+
+    def test_single_sample_is_every_percentile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(7.0)
+        assert histogram.percentile(1.0) == 7.0
+        assert histogram.percentile(99.0) == 7.0
+
+    def test_rows_and_record_carry_p50_p95(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        (row,) = registry.rows()
+        assert row["p50"] == pytest.approx(50.5)
+        assert row["p95"] == pytest.approx(95.05)
+        record = registry.to_record()
+        assert record["histograms"]["h"]["p50"] == pytest.approx(50.5)
+        assert record["histograms"]["h"]["p95"] == pytest.approx(95.05)
+
+    def test_empty_histogram_record_has_null_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("unused")
+        record = registry.to_record()
+        assert record["histograms"]["unused"]["p50"] is None
+        assert record["histograms"]["unused"]["p95"] is None

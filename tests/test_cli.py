@@ -212,3 +212,115 @@ class TestTelemetryFlags:
     def test_report_missing_file_errors(self, capsys, tmp_path):
         assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
         assert capsys.readouterr().err
+
+
+class TestReportErrorPaths:
+    """Every bad input becomes one clean error line and exit code 2."""
+
+    def _assert_clean_error(self, capsys, rc):
+        assert rc == 2
+        captured = capsys.readouterr()
+        err_lines = [line for line in captured.err.splitlines() if line]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_missing_file(self, capsys, tmp_path):
+        self._assert_clean_error(
+            capsys, main(["report", str(tmp_path / "missing.jsonl")])
+        )
+
+    def test_empty_file(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        self._assert_clean_error(capsys, main(["report", str(path)]))
+
+    def test_malformed_jsonl_line(self, capsys, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(
+            '{"kind": "meta", "schema": "repro-trace/1", "spans": 1}\n{oops\n'
+        )
+        rc = main(["report", str(path)])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "line 2" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_version_mismatched_header(self, capsys, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind": "meta", "schema": "repro-trace/99", "spans": 0}\n')
+        rc = main(["report", str(path)])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "repro-trace/99" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bench_mode_rejects_broken_file(self, capsys, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text("not json at all\n")
+        self._assert_clean_error(capsys, main(["report", str(path), "--bench"]))
+
+    def test_bench_and_network_are_mutually_exclusive(self, capsys, tmp_path):
+        rc = main(["report", "sioux-falls", "--bench", "--network"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityCli:
+    def test_report_network_solves_and_prints_summary(self, capsys):
+        assert main(["report", "braess", "--network"]) == 0
+        output = capsys.readouterr().out
+        assert "network report: braess: summary" in output
+        assert "most congested links" in output
+        assert "solved with" in output
+
+    def test_report_network_unknown_instance_errors(self, capsys):
+        assert main(["report", "no-such-instance", "--network"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_solve_report_prints_network_tables(self, capsys):
+        assert main(["solve", "braess", "--report"]) == 0
+        output = capsys.readouterr().out
+        assert "largest OD pairs" in output
+
+    def test_solve_edge_flow_report(self, capsys):
+        assert main(["solve", "sioux-falls-mini", "--edge-flow", "--report"]) == 0
+        output = capsys.readouterr().out
+        assert "most congested links" in output
+        assert "v/c" in output
+
+    def test_simulate_profile_prints_sampler_table(self, capsys):
+        assert main([
+            "simulate", "two-links", "--policy", "uniform", "--period", "0.2",
+            "--horizon", "2", "--profile",
+        ]) == 0
+        assert "sampling profiler" in capsys.readouterr().out
+
+    def test_simulate_ledger_records_run(self, capsys, tmp_path):
+        from repro.telemetry.ledger import load_ledger
+
+        ledger_dir = tmp_path / "ledger"
+        assert main([
+            "simulate", "two-links", "--policy", "uniform", "--period", "0.2",
+            "--horizon", "2", "--ledger", str(ledger_dir),
+        ]) == 0
+        assert "ledgered run" in capsys.readouterr().out
+        entries = load_ledger(ledger_dir)
+        assert len(entries) == 1
+        assert entries[0]["engine"] == "fluid-scalar"
+        assert entries[0]["instance"] == "two-links"
+
+    def test_sweep_ledger_records_cases(self, capsys, tmp_path):
+        from repro.telemetry.ledger import load_ledger
+
+        ledger_dir = tmp_path / "ledger"
+        assert main([
+            "sweep", "braess", "--policy", "uniform", "--periods", "0.2,0.4",
+            "--horizon", "2", "--steps-per-phase", "10",
+            "--ledger", str(ledger_dir),
+        ]) == 0
+        capsys.readouterr()
+        entries = load_ledger(ledger_dir)
+        kinds = {entry["kind"] for entry in entries}
+        assert "engine_run" in kinds
+        assert "sweep" in kinds
